@@ -1,0 +1,449 @@
+(* Command-line front-end for the DCSA physical synthesis flow.
+
+   dcsa-synth list
+   dcsa-synth run -b CPA [--flow ours|ba] [--layout] [--schedule] [--json]
+   dcsa-synth compare [-b CPA]      # Table I (one row or the whole suite)
+   dcsa-synth synth -n 40 -s 7      # synthesise a random assay *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log stage timings.")
+
+let run_one ~config ~flow (inst : Mfb_core.Suite.instance) =
+  match flow with
+  | `Ours -> Mfb_core.Flow.run ~config inst.graph inst.allocation
+  | `Ba -> Mfb_core.Baseline.run ~config inst.graph inst.allocation
+
+let print_result ~layout ~schedule ~gantt ~json ~svg (r : Mfb_core.Result.t) =
+  if json then
+    print_endline (Mfb_util.Json.to_string ~indent:2 (Mfb_core.Result.to_json r))
+  else begin
+    Format.printf "%a@." Mfb_core.Result.pp_summary r;
+    if schedule then begin
+      Format.printf "@.%a@." Mfb_schedule.Types.pp r.schedule;
+      List.iter
+        (fun tr ->
+          Format.printf "  transport %a@." Mfb_schedule.Types.pp_transport tr)
+        r.schedule.transports
+    end;
+    if gantt then begin
+      print_newline ();
+      print_string (Mfb_core.Gantt.render r.schedule)
+    end;
+    if layout then begin
+      print_newline ();
+      print_string (Mfb_core.Layout_render.render r)
+    end
+  end;
+  match svg with
+  | Some path ->
+    Mfb_core.Layout_svg.to_file path r;
+    Printf.eprintf "wrote %s\n" path
+  | None -> ()
+
+(* --- common options --- *)
+
+let benchmark_arg =
+  let doc = "Benchmark name (PCR, IVD, CPA, Synthetic1..Synthetic4)." in
+  Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~doc)
+
+let tc_arg =
+  let doc = "Transport-time constant t_c in seconds." in
+  Arg.(value & opt float Mfb_core.Config.default.tc & info [ "tc" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the annealing placer." in
+  Arg.(value & opt int Mfb_core.Config.default.seed & info [ "seed" ] ~doc)
+
+let config_of tc seed = { Mfb_core.Config.default with tc; seed }
+
+let flow_arg =
+  let doc = "Which flow to run: 'ours' (the paper's) or 'ba' (baseline)." in
+  Arg.(
+    value
+    & opt (enum [ ("ours", `Ours); ("ba", `Ba) ]) `Ours
+    & info [ "f"; "flow" ] ~doc)
+
+let layout_arg =
+  Arg.(value & flag & info [ "layout" ] ~doc:"Print the ASCII chip layout.")
+
+let schedule_arg =
+  Arg.(value & flag & info [ "schedule" ] ~doc:"Print the schedule and transports.")
+
+let gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit metrics as JSON.")
+
+let svg_arg =
+  let doc = "Write the chip layout to $(docv) as SVG." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~doc ~docv:"FILE")
+
+let input_arg =
+  let doc = "Load the bioassay from an assay file instead of a built-in \
+             benchmark (see lib/bioassay/assay_file.mli for the format)." in
+  Arg.(value & opt (some string) None & info [ "i"; "input" ] ~doc ~docv:"FILE")
+
+let alloc_arg =
+  let doc = "Component allocation as M,H,F,D (e.g. 3,1,0,2); defaults to \
+             one component per kind used by the assay." in
+  Arg.(value & opt (some string) None & info [ "a"; "alloc" ] ~doc ~docv:"M,H,F,D")
+
+let parse_alloc s =
+  match List.map int_of_string_opt (String.split_on_char ',' s) with
+  | [ Some m; Some h; Some f; Some d ] ->
+    (match Mfb_component.Allocation.of_vector (m, h, f, d) with
+     | alloc -> Ok alloc
+     | exception Invalid_argument msg -> Error msg)
+  | _ -> Error (Printf.sprintf "cannot parse allocation %S (want M,H,F,D)" s)
+
+let lookup_benchmark name =
+  match Mfb_core.Suite.find name with
+  | Some inst -> Ok inst
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S; try: %s" name
+         (String.concat ", " Mfb_core.Suite.names))
+
+(* Resolve the instance to synthesise from [-b] or [-i]/[-a]. *)
+let resolve_instance ~benchmark ~input ~alloc =
+  match benchmark, input with
+  | Some _, Some _ -> Error "use either -b or -i, not both"
+  | Some name, None -> lookup_benchmark name
+  | None, Some path ->
+    (match Mfb_bioassay.Assay_file.of_file path with
+     | Error e ->
+       Error (Format.asprintf "%s: %a" path Mfb_bioassay.Assay_file.pp_error e)
+     | Ok graph ->
+       let allocation =
+         match alloc with
+         | None -> Ok (Mfb_component.Allocation.minimal_for graph)
+         | Some s -> parse_alloc s
+       in
+       Stdlib.Result.map
+         (fun allocation -> { Mfb_core.Suite.graph; allocation })
+         allocation)
+  | None, None -> Error "missing -b BENCHMARK or -i FILE; see 'dcsa-synth list'"
+
+(* --- list --- *)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun (inst : Mfb_core.Suite.instance) ->
+        Printf.printf "%-11s %3d ops  allocation %s\n"
+          (Mfb_bioassay.Seq_graph.name inst.graph)
+          (Mfb_bioassay.Seq_graph.n_ops inst.graph)
+          (Mfb_component.Allocation.to_string inst.allocation))
+      (Mfb_core.Suite.all ())
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in Table-I benchmarks.")
+    Term.(const action $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let action verbose benchmark input alloc flow tc seed layout schedule gantt
+      json svg =
+    setup_logs verbose;
+    match resolve_instance ~benchmark ~input ~alloc with
+    | Error msg -> `Error (false, msg)
+    | Ok inst ->
+      let config = config_of tc seed in
+      print_result ~layout ~schedule ~gantt ~json ~svg
+        (run_one ~config ~flow inst);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Synthesise one benchmark (or an assay file) with the chosen flow \
+          and print metrics.")
+    Term.(
+      ret
+        (const action $ verbose_arg $ benchmark_arg $ input_arg $ alloc_arg
+       $ flow_arg $ tc_arg $ seed_arg $ layout_arg $ schedule_arg $ gantt_arg
+       $ json_arg $ svg_arg))
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let html_arg =
+    let doc = "Also write a standalone HTML report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "html" ] ~doc ~docv:"FILE")
+  in
+  let action benchmark tc seed json html =
+    let config = config_of tc seed in
+    let instances =
+      match benchmark with
+      | None -> Ok (Mfb_core.Suite.all ())
+      | Some name -> Stdlib.Result.map (fun i -> [ i ]) (lookup_benchmark name)
+    in
+    match instances with
+    | Error msg -> `Error (false, msg)
+    | Ok instances ->
+      let pairs =
+        List.map
+          (fun inst ->
+            (run_one ~config ~flow:`Ours inst, run_one ~config ~flow:`Ba inst))
+          instances
+      in
+      if json then
+        print_endline
+          (Mfb_util.Json.to_string ~indent:2 (Mfb_core.Report.suite_to_json pairs))
+      else begin
+        print_string (Mfb_core.Report.table1 pairs);
+        print_newline ();
+        print_string (Mfb_core.Report.fig8 pairs);
+        print_newline ();
+        print_string (Mfb_core.Report.fig9 pairs)
+      end;
+      (match html with
+       | Some path ->
+         Mfb_core.Report_html.to_file path pairs;
+         Printf.eprintf "wrote %s\n" path
+       | None -> ());
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Run both flows and print the Table-I style comparison (whole suite \
+          by default).")
+    Term.(
+      ret (const action $ benchmark_arg $ tc_arg $ seed_arg $ json_arg
+         $ html_arg))
+
+(* --- synth (random assay) --- *)
+
+let synth_cmd =
+  let n_ops_arg =
+    Arg.(value & opt int 30 & info [ "n"; "ops" ] ~doc:"Number of operations.")
+  in
+  let gseed_arg =
+    Arg.(value & opt int 1 & info [ "s"; "graph-seed" ] ~doc:"Generator seed.")
+  in
+  let action n_ops gseed tc seed layout schedule gantt json svg =
+    if n_ops < 2 then `Error (false, "need at least 2 operations")
+    else begin
+      let graph =
+        Mfb_bioassay.Synthetic.generate
+          ~name:(Printf.sprintf "random-%d-%d" n_ops gseed)
+          { Mfb_bioassay.Synthetic.default_params with
+            n_ops;
+            kind_weights = [| 4; 2; 1; 1 |];
+            layer_width = max 3 (n_ops / 6);
+            seed = gseed }
+      in
+      let mixers = max 2 (n_ops / 6) in
+      let allocation =
+        Mfb_component.Allocation.make ~mixers ~heaters:(max 1 (mixers / 2))
+          ~filters:1 ~detectors:1
+      in
+      let config = config_of tc seed in
+      print_result ~layout ~schedule ~gantt ~json ~svg
+        (Mfb_core.Flow.run ~config graph allocation);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Generate a random bioassay and synthesise it with the DCSA flow.")
+    Term.(
+      ret
+        (const action $ n_ops_arg $ gseed_arg $ tc_arg $ seed_arg $ layout_arg
+       $ schedule_arg $ gantt_arg $ json_arg $ svg_arg))
+
+(* --- explore (architectural synthesis) --- *)
+
+let explore_cmd =
+  let action benchmark input tc =
+    let graph =
+      match benchmark, input with
+      | Some _, Some _ -> Error "use either -b or -i, not both"
+      | Some name, None ->
+        Stdlib.Result.map
+          (fun (i : Mfb_core.Suite.instance) -> i.graph)
+          (lookup_benchmark name)
+      | None, Some path ->
+        (match Mfb_bioassay.Assay_file.of_file path with
+         | Ok g -> Ok g
+         | Error e ->
+           Error
+             (Format.asprintf "%s: %a" path Mfb_bioassay.Assay_file.pp_error e))
+      | None, None -> Error "missing -b BENCHMARK or -i FILE"
+    in
+    match graph with
+    | Error msg -> `Error (false, msg)
+    | Ok graph ->
+      let frontier = Mfb_core.Allocator.explore ~tc graph in
+      List.iter
+        (fun (p : Mfb_core.Allocator.point) ->
+          Printf.printf "%-10s %2d components  %7.1f s  util %4.1f%%\n"
+            (Mfb_component.Allocation.to_string p.allocation)
+            p.components p.completion_time (100. *. p.utilization))
+        frontier;
+      (match Mfb_core.Allocator.knee frontier with
+       | Some k ->
+         Printf.printf "knee: %s (%.1f s)\n"
+           (Mfb_component.Allocation.to_string k.allocation)
+           k.completion_time
+       | None -> ());
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore the allocation space: Pareto frontier of (components, \
+          completion time).")
+    Term.(ret (const action $ benchmark_arg $ input_arg $ tc_arg))
+
+(* --- info (assay statistics) --- *)
+
+let info_cmd =
+  let action benchmark input =
+    let graph =
+      match benchmark, input with
+      | Some name, None ->
+        Stdlib.Result.map
+          (fun (i : Mfb_core.Suite.instance) -> i.graph)
+          (lookup_benchmark name)
+      | None, Some path ->
+        (match Mfb_bioassay.Assay_file.of_file path with
+         | Ok g -> Ok g
+         | Error e ->
+           Error
+             (Format.asprintf "%s: %a" path Mfb_bioassay.Assay_file.pp_error e))
+      | _ -> Error "need exactly one of -b BENCHMARK or -i FILE"
+    in
+    match graph with
+    | Error msg -> `Error (false, msg)
+    | Ok g ->
+      let counts = Mfb_bioassay.Seq_graph.kind_counts g in
+      let volume = Mfb_bioassay.Volume.analyse g in
+      Printf.printf "%s\n" (Mfb_bioassay.Seq_graph.name g);
+      Printf.printf "  operations      %d (mix %d, heat %d, filter %d, detect %d)\n"
+        (Mfb_bioassay.Seq_graph.n_ops g) counts.(0) counts.(1) counts.(2)
+        counts.(3);
+      Printf.printf "  edges           %d\n" (Mfb_bioassay.Seq_graph.n_edges g);
+      Printf.printf "  depth           %d levels\n"
+        (Mfb_bioassay.Seq_graph.depth g);
+      Printf.printf "  width profile   %s\n"
+        (String.concat ","
+           (List.map string_of_int (Mfb_bioassay.Seq_graph.width_profile g)));
+      Printf.printf "  critical path   %.1f s (tc = %.1f)\n"
+        (Mfb_bioassay.Seq_graph.critical_path g
+           ~tc:Mfb_core.Config.default.tc)
+        Mfb_core.Config.default.tc;
+      Printf.printf "  sources/sinks   %d/%d\n"
+        (List.length (Mfb_bioassay.Seq_graph.sources g))
+        (List.length (Mfb_bioassay.Seq_graph.sinks g));
+      Printf.printf "  reagent bill    %.2f chamber units\n"
+        (Mfb_bioassay.Volume.total_reagent volume);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Print structural statistics and the reagent bill of an assay.")
+    Term.(ret (const action $ benchmark_arg $ input_arg))
+
+(* --- control (control-layer synthesis) --- *)
+
+let control_cmd =
+  let action benchmark tc seed =
+    match benchmark with
+    | None -> `Error (false, "missing -b BENCHMARK")
+    | Some name ->
+      (match lookup_benchmark name with
+       | Error msg -> `Error (false, msg)
+       | Ok inst ->
+         let config = config_of tc seed in
+         let r = Mfb_core.Flow.run ~config inst.graph inst.allocation in
+         let valves = Mfb_control.Valve_map.of_routing r.routing in
+         let steps =
+           Mfb_control.Actuation.steps ~tc:config.tc valves r.routing
+         in
+         let events = Mfb_control.Actuation.toggle_sequence steps in
+         let n = max 1 (Mfb_control.Valve_map.count valves) in
+         let naive =
+           Mfb_control.Mux.switching_cost (Mfb_control.Mux.naive ~n) ~events
+         in
+         let optimized =
+           Mfb_control.Mux.switching_cost
+             (Mfb_control.Mux.greedy ~events ~n)
+             ~events
+         in
+         let esc =
+           Mfb_control.Escape.route ~width:r.chip.width ~height:r.chip.height
+             valves
+         in
+         Printf.printf "%s control layer\n" r.benchmark;
+         Printf.printf "  valves              %d\n"
+           (Mfb_control.Valve_map.count valves);
+         Printf.printf "  mux pins            %d\n" (Mfb_control.Mux.pins_needed n);
+         Printf.printf "  actuation steps     %d\n" (List.length steps);
+         Printf.printf "  valve switches      %d\n"
+           (Mfb_control.Actuation.valve_switching steps);
+         Printf.printf "  pin toggles naive   %d\n" naive;
+         Printf.printf "  pin toggles greedy  %d (%.1f%% less)\n" optimized
+           (Mfb_control.Mux.improvement_percent ~naive ~optimized);
+         Printf.printf "  escape routed       %d/%d lines, %d pins, %d cells\n"
+           (List.length esc.lines)
+           (Mfb_control.Valve_map.count valves)
+           esc.pins esc.total_length;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "control"
+       ~doc:
+         "Synthesise a benchmark, derive its control layer (valves, \
+          actuation, mux addressing, escape routing), and print the \
+          figures.")
+    Term.(ret (const action $ benchmark_arg $ tc_arg $ seed_arg))
+
+(* --- dot (Graphviz export) --- *)
+
+let dot_cmd =
+  let action benchmark input =
+    let graph =
+      match benchmark, input with
+      | Some name, None ->
+        Stdlib.Result.map
+          (fun (i : Mfb_core.Suite.instance) -> i.graph)
+          (lookup_benchmark name)
+      | None, Some path ->
+        (match Mfb_bioassay.Assay_file.of_file path with
+         | Ok g -> Ok g
+         | Error e ->
+           Error
+             (Format.asprintf "%s: %a" path Mfb_bioassay.Assay_file.pp_error e))
+      | _ -> Error "need exactly one of -b BENCHMARK or -i FILE"
+    in
+    match graph with
+    | Error msg -> `Error (false, msg)
+    | Ok g ->
+      print_string (Mfb_bioassay.Seq_graph.to_dot g);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the sequencing graph in Graphviz dot format.")
+    Term.(ret (const action $ benchmark_arg $ input_arg))
+
+let () =
+  let doc =
+    "Physical synthesis of flow-based microfluidic biochips with distributed \
+     channel storage (DATE 2019 reproduction)"
+  in
+  let info = Cmd.info "dcsa-synth" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; compare_cmd; synth_cmd; explore_cmd; info_cmd;
+            control_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/allocation_explorer.ml: List Mfb_bioassay Mfb_component Mfb_core Printf

@@ -1,0 +1,1 @@
+examples/dedicated_vs_dcsa.ml: List Mfb_bioassay Mfb_core Mfb_schedule Mfb_util Printf

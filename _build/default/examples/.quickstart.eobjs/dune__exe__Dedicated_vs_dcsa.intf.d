@@ -1,0 +1,1 @@
+examples/dedicated_vs_dcsa.mli:

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: List Mfb_core Mfb_route Printf

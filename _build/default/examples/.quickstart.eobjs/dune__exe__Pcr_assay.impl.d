@@ -1,0 +1,1 @@
+examples/pcr_assay.ml: Format List Mfb_bioassay Mfb_component Mfb_core Mfb_schedule

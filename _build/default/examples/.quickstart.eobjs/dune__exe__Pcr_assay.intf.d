@@ -1,0 +1,1 @@
+examples/pcr_assay.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mfb_bioassay Mfb_component Mfb_core Mfb_schedule Mfb_util

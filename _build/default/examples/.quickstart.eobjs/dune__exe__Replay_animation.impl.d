@@ -1,0 +1,1 @@
+examples/replay_animation.ml: List Mfb_core Mfb_sim Printf

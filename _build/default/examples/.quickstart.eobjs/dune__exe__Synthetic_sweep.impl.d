@@ -1,0 +1,1 @@
+examples/synthetic_sweep.ml: List Mfb_bioassay Mfb_component Mfb_core Mfb_util Printf

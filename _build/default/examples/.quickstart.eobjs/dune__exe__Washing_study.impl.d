@@ -1,0 +1,1 @@
+examples/washing_study.ml: List Mfb_bioassay Mfb_component Mfb_core Printf

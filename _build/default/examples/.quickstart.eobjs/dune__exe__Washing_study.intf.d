@@ -1,0 +1,1 @@
+examples/washing_study.mli:

@@ -1,0 +1,33 @@
+(* Architectural exploration: how many components does an assay actually
+   need?  The explorer sweeps allocation vectors, schedules each with the
+   DCSA engine, and reports the Pareto frontier of (component count,
+   completion time) plus the knee point — the smallest allocation within
+   5 % of the fastest.
+
+   Run with: dune exec examples/allocation_explorer.exe *)
+
+let explore_one (inst : Mfb_core.Suite.instance) =
+  let name = Mfb_bioassay.Seq_graph.name inst.graph in
+  Printf.printf "\n%s (%d ops; Table-I allocation %s):\n" name
+    (Mfb_bioassay.Seq_graph.n_ops inst.graph)
+    (Mfb_component.Allocation.to_string inst.allocation);
+  let frontier = Mfb_core.Allocator.explore inst.graph in
+  List.iter
+    (fun (p : Mfb_core.Allocator.point) ->
+      Printf.printf "  %-10s %2d components  %6.1f s  util %4.1f%%\n"
+        (Mfb_component.Allocation.to_string p.allocation)
+        p.components p.completion_time (100. *. p.utilization))
+    frontier;
+  match Mfb_core.Allocator.knee frontier with
+  | Some k ->
+    Printf.printf "  knee: %s — %.1f s with %d components\n"
+      (Mfb_component.Allocation.to_string k.allocation)
+      k.completion_time k.components
+  | None -> ()
+
+let () =
+  print_endline
+    "Pareto frontier of (allocated components, completion time) per assay:";
+  List.iter explore_one
+    [ Mfb_core.Suite.cpa (); Mfb_core.Suite.synthetic2 ();
+      Mfb_core.Suite.synthetic4 () ]

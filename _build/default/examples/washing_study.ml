@@ -1,0 +1,70 @@
+(* Washing study: how the diffusion coefficient of the fluids drives the
+   synthesis result (paper §II-B and Fig. 2(b)).
+
+   First prints the wash-time model over the physical range of diffusion
+   coefficients, then synthesises the same assay twice — once with
+   easy-to-wash small molecules, once with hard-to-wash cell-scale
+   fluids — and shows what the wash burden does to the schedule.
+
+   Run with: dune exec examples/washing_study.exe *)
+
+module B = Mfb_bioassay
+
+let wash_curve () =
+  print_endline "Wash-time model (log-linear fit through the paper's anchors):";
+  print_endline "  diffusion (cm^2/s)   wash time (s)";
+  List.iter
+    (fun d -> Printf.printf "  %12g        %6.2f\n" d (B.Fluid.wash_time_of_diffusion d))
+    [ 1e-5; 5e-6; 1e-6; 4e-7; 1e-7; 5e-8; 2e-8; 1e-8; 1e-9 ];
+  print_newline ()
+
+(* A mixing ladder that reuses components heavily, so wash time matters. *)
+let ladder name fluid =
+  let ops =
+    List.init 9 (fun id ->
+        B.Operation.make ~id ~kind:Mix ~duration:4. ~output:fluid)
+  in
+  let edges = List.init 8 (fun i -> (i, i + 1)) in
+  B.Seq_graph.create ~name ~ops ~edges
+
+(* The same ladder alternating two different fluids: every channel reuse
+   now needs a wash. *)
+let alternating name fluid_a fluid_b =
+  let ops =
+    List.init 9 (fun id ->
+        let output = if id mod 2 = 0 then fluid_a else fluid_b in
+        B.Operation.make ~id ~kind:Mix ~duration:4. ~output)
+  in
+  let edges = List.init 8 (fun i -> (i, i + 1)) in
+  B.Seq_graph.create ~name ~ops ~edges
+
+let run graph =
+  let allocation =
+    Mfb_component.Allocation.make ~mixers:2 ~heaters:0 ~filters:0 ~detectors:0
+  in
+  Mfb_core.Flow.run graph allocation
+
+let () =
+  wash_curve ();
+  let lysis = B.Fluid.make ~name:"lysis-buffer" ~diffusion:1e-5 in
+  let virus = B.Fluid.make ~name:"virus-sample" ~diffusion:1e-8 in
+  let scenarios =
+    [
+      ("all easy-to-wash (lysis buffer)", ladder "easy-ladder" lysis);
+      ("all hard-to-wash (virus-scale)", ladder "hard-ladder" virus);
+      ("alternating fluids", alternating "alternating-ladder" lysis virus);
+    ]
+  in
+  print_endline "Same 9-mix ladder on 2 mixers, three fluid scenarios:";
+  List.iter
+    (fun (label, graph) ->
+      let r = run graph in
+      Printf.printf
+        "  %-34s exec %6.1f s   component wash %6.1f s   channel wash %5.1f s\n"
+        label r.execution_time r.component_wash_time r.channel_wash_time)
+    scenarios;
+  print_newline ();
+  print_endline
+    "Hard-to-wash fluids stretch the same dependence chain: every component\n\
+     reuse pays the residue wash, which is exactly why the paper's Case-I\n\
+     binding (consume the hardest residue in place) pays off."

@@ -1,0 +1,1 @@
+lib/bioassay/assay_file.ml: Array Buffer Fluid Format Hashtbl In_channel List Operation Option Out_channel Printf Seq_graph String

@@ -1,0 +1,1 @@
+lib/bioassay/assay_file.mli: Format Seq_graph

@@ -1,0 +1,1 @@
+lib/bioassay/benchmarks.ml: Fluid Fun List Operation Printf Seq_graph

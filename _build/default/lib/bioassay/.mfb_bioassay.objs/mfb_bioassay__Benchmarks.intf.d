@@ -1,0 +1,1 @@
+lib/bioassay/benchmarks.mli: Seq_graph

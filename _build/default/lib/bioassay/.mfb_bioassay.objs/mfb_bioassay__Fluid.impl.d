@@ -1,0 +1,1 @@
+lib/bioassay/fluid.ml: Array Float Format String

@@ -1,0 +1,1 @@
+lib/bioassay/fluid.mli: Format

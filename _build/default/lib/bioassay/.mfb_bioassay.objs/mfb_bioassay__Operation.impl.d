@@ -1,0 +1,1 @@
+lib/bioassay/operation.ml: Float Fluid Format Printf

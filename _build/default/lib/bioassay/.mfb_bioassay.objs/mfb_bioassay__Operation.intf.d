@@ -1,0 +1,1 @@
+lib/bioassay/operation.mli: Fluid Format

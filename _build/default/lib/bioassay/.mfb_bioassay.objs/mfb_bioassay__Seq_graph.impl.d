@@ -1,0 +1,1 @@
+lib/bioassay/seq_graph.ml: Array Buffer Float Fluid Format Fun Hashtbl List Operation Printf Queue

@@ -1,0 +1,1 @@
+lib/bioassay/seq_graph.mli: Format Operation

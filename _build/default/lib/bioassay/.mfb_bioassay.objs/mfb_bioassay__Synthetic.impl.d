@@ -1,0 +1,1 @@
+lib/bioassay/synthetic.ml: Array Fluid List Mfb_util Operation Seq_graph

@@ -1,0 +1,1 @@
+lib/bioassay/synthetic.mli: Seq_graph

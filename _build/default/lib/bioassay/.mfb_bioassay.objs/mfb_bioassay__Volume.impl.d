@@ -1,0 +1,1 @@
+lib/bioassay/volume.ml: Array Float Fun Hashtbl List Seq_graph

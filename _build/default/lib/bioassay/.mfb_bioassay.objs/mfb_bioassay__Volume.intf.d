@@ -1,0 +1,1 @@
+lib/bioassay/volume.mli: Seq_graph

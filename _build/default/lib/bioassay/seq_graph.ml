@@ -1,0 +1,151 @@
+type t = {
+  name : string;
+  ops : Operation.t array;
+  edges : (int * int) list;
+  parents : int list array;
+  children : int list array;
+  topo : int list; (* cached topological order *)
+}
+
+let compute_topo n children =
+  let indegree = Array.make n 0 in
+  Array.iter (List.iter (fun c -> indegree.(c) <- indegree.(c) + 1)) children;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    let relax c =
+      indegree.(c) <- indegree.(c) - 1;
+      if indegree.(c) = 0 then Queue.add c queue
+    in
+    List.iter relax children.(v)
+  done;
+  if !seen <> n then invalid_arg "Seq_graph.create: graph contains a cycle";
+  List.rev !order
+
+let create ~name ~ops ~edges =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  if n = 0 then invalid_arg "Seq_graph.create: no operations";
+  Array.iteri
+    (fun i (op : Operation.t) ->
+      if op.id <> i then
+        invalid_arg
+          (Printf.sprintf "Seq_graph.create: op at position %d has id %d" i op.id))
+    ops;
+  let parents = Array.make n [] and children = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  let add_edge (src, dst) =
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg (Printf.sprintf "Seq_graph.create: bad edge (%d, %d)" src dst);
+    if src = dst then
+      invalid_arg (Printf.sprintf "Seq_graph.create: self-loop on %d" src);
+    if Hashtbl.mem seen (src, dst) then
+      invalid_arg (Printf.sprintf "Seq_graph.create: duplicate edge (%d, %d)" src dst);
+    Hashtbl.add seen (src, dst) ();
+    parents.(dst) <- src :: parents.(dst);
+    children.(src) <- dst :: children.(src)
+  in
+  List.iter add_edge edges;
+  let topo = compute_topo n children in
+  { name; ops; edges; parents; children; topo }
+
+let name g = g.name
+
+let n_ops g = Array.length g.ops
+
+let op g i =
+  if i < 0 || i >= Array.length g.ops then
+    invalid_arg (Printf.sprintf "Seq_graph.op: id %d out of range" i);
+  g.ops.(i)
+
+let ops g = Array.copy g.ops
+
+let edges g = g.edges
+
+let n_edges g = List.length g.edges
+
+let parents g i = g.parents.(i)
+
+let children g i = g.children.(i)
+
+let sources g =
+  List.filter (fun i -> g.parents.(i) = []) (List.init (n_ops g) Fun.id)
+
+let sinks g =
+  List.filter (fun i -> g.children.(i) = []) (List.init (n_ops g) Fun.id)
+
+let topo_order g = g.topo
+
+let priorities g ~tc =
+  let n = n_ops g in
+  let prio = Array.make n 0. in
+  let reverse_topo = List.rev g.topo in
+  let assign i =
+    let tail =
+      match g.children.(i) with
+      | [] -> 0.
+      | cs -> List.fold_left (fun acc c -> Float.max acc (tc +. prio.(c))) 0. cs
+    in
+    prio.(i) <- g.ops.(i).duration +. tail
+  in
+  List.iter assign reverse_topo;
+  prio
+
+let critical_path g ~tc =
+  Array.fold_left Float.max 0. (priorities g ~tc)
+
+let kind_counts g =
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun (op : Operation.t) ->
+      let k = Operation.kind_index op.kind in
+      counts.(k) <- counts.(k) + 1)
+    g.ops;
+  counts
+
+let levels g =
+  let n = n_ops g in
+  let level = Array.make n 0 in
+  List.iter
+    (fun op ->
+      let parents_level =
+        List.fold_left (fun acc p -> max acc (level.(p) + 1)) 0 g.parents.(op)
+      in
+      level.(op) <- parents_level)
+    g.topo;
+  level
+
+let depth g =
+  1 + Array.fold_left max 0 (levels g)
+
+let width_profile g =
+  let level = levels g in
+  let counts = Array.make (depth g) 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level;
+  Array.to_list counts
+
+let to_dot g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" g.name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, style=rounded];\n";
+  Array.iter
+    (fun (op : Operation.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d [label=\"o%d: %s\\n%.1f s, %s\"];\n" op.id
+           op.id
+           (Operation.kind_to_string op.kind)
+           op.duration op.output.Fluid.name))
+    g.ops;
+  List.iter
+    (fun (src, dst) ->
+      Buffer.add_string buf (Printf.sprintf "  o%d -> o%d;\n" src dst))
+    (List.sort compare g.edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf g =
+  Format.fprintf ppf "%s: %d ops, %d edges" g.name (n_ops g) (n_edges g)

@@ -1,0 +1,69 @@
+(** Sequencing graphs: directed acyclic graphs of bioassay operations.
+
+    Vertices are operations (dense ids [0 .. n-1]); an edge [(j, i)] means
+    operation [i] consumes the output fluid of operation [j]. *)
+
+type t
+
+val create : name:string -> ops:Operation.t list -> edges:(int * int) list -> t
+(** [create ~name ~ops ~edges] builds and validates a sequencing graph.
+    Operation ids must be exactly [0 .. n-1]; edges must reference valid
+    ids, contain no duplicates or self-loops, and form a DAG.
+    @raise Invalid_argument otherwise. *)
+
+val name : t -> string
+
+val n_ops : t -> int
+
+val op : t -> int -> Operation.t
+(** @raise Invalid_argument on out-of-range id. *)
+
+val ops : t -> Operation.t array
+(** Fresh copy of the operation array, indexed by id. *)
+
+val edges : t -> (int * int) list
+(** All edges [(parent, child)]. *)
+
+val n_edges : t -> int
+
+val parents : t -> int -> int list
+(** Direct predecessors of an operation. *)
+
+val children : t -> int -> int list
+(** Direct successors of an operation. *)
+
+val sources : t -> int list
+(** Operations with no parents (they consume external input fluids). *)
+
+val sinks : t -> int list
+(** Operations with no children (their outputs leave the chip). *)
+
+val topo_order : t -> int list
+(** A topological order of all operation ids. *)
+
+val priorities : t -> tc:float -> float array
+(** [priorities g ~tc] is, per operation, the length of the longest path
+    from the operation to a sink operation, where a vertex contributes its
+    duration and every traversed edge of [E] contributes the transport
+    constant [tc] (paper §IV-A: the list-scheduling priority value; the
+    paper's example yields 21 for o1 of Fig. 2(a) with [tc = 2]). *)
+
+val critical_path : t -> tc:float -> float
+(** Maximum over all operations of [priorities]: a lower bound on any
+    schedule's completion time. *)
+
+val kind_counts : t -> int array
+(** Number of operations of each kind, indexed by [Operation.kind_index]. *)
+
+val depth : t -> int
+(** Number of vertices on the longest dependency chain. *)
+
+val width_profile : t -> int list
+(** Operations per level when every operation sits at
+    [1 + max (level of parents)]; the list is indexed by level. *)
+
+val to_dot : t -> string
+(** Graphviz (dot) rendering: operations as boxes labelled with kind,
+    duration, and output fluid; edges as dependencies. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Seeded synthetic bioassay generator.
+
+    Generates layered DAGs whose operation-kind distribution follows an
+    allocation vector [(mixers, heaters, filters, detectors)], mirroring
+    the four synthetic benchmarks of the paper's Table I. *)
+
+type params = {
+  n_ops : int;           (** total operations; at least 2 *)
+  kind_weights : int array;
+      (** relative frequency per kind, indexed by [Operation.kind_index];
+          a kind with weight 0 never appears *)
+  max_parents : int;     (** fan-in bound per operation (>= 1) *)
+  layer_width : int;     (** target operations per DAG layer (>= 1) *)
+  same_kind_bias : float;
+      (** probability in [\[0, 1\]] that a non-source operation adopts the
+          kind of its primary parent — real bioassays chain same-kind
+          steps (dilution series, repeated mixing), which is what makes
+          the paper's Case-I binding effective *)
+  seed : int;
+}
+
+val default_params : params
+(** 20 ops, weights [|4; 2; 1; 1|], fan-in 2, width 4, bias 0.45,
+    seed 1. *)
+
+val generate : name:string -> params -> Seq_graph.t
+(** [generate ~name p] builds a random sequencing graph: operations are
+    laid out in layers of about [p.layer_width]; every non-source
+    operation draws 1 to [p.max_parents] parents from earlier layers
+    (always including one from the immediately preceding layer, keeping
+    depth meaningful); detection operations are steered towards late
+    layers.  Durations: Mix 4-7 s, Heat 3-6 s, Filter 3-5 s,
+    Detect 2-4 s.  Output fluids are drawn from {!Fluid.palette}.
+    The result is deterministic in [p.seed]. *)
+
+val synthetic1 : unit -> Seq_graph.t
+(** 20 operations for allocation (3,3,2,1) — Table I row "Synthetic1". *)
+
+val synthetic2 : unit -> Seq_graph.t
+(** 30 operations for allocation (5,2,2,2). *)
+
+val synthetic3 : unit -> Seq_graph.t
+(** 40 operations for allocation (6,4,4,2). *)
+
+val synthetic4 : unit -> Seq_graph.t
+(** 50 operations for allocation (7,4,4,3). *)
+
+val all : unit -> Seq_graph.t list

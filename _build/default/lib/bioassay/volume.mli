@@ -1,0 +1,39 @@
+(** Fluid-volume accounting over a sequencing graph.
+
+    Flow-based mixers combine equal volumes of their inputs (a 1:1 mixer
+    splits its chamber between the incoming fluids); heaters, filters and
+    detectors are volume-preserving single-input steps.  Propagating one
+    chamber volume per sink upward through the graph yields the volume
+    every edge must carry and the amount of raw input each source
+    consumes — the reagent bill of the assay.
+
+    Volumes are in chamber units (1.0 = one component chamber). *)
+
+type t
+
+val analyse : Seq_graph.t -> t
+(** Demand-driven analysis: every sink must deliver one chamber unit;
+    an operation's demand is the sum over its out-edges (a fan-out of
+    [k] must produce [k] chambers, i.e. the operation runs conceptually
+    [k] batches); each of the [n] inputs of an operation contributes
+    [demand / n]. *)
+
+val edge_volume : t -> int * int -> float
+(** Chamber units carried over a dependency edge.
+    @raise Not_found for an edge absent from the graph. *)
+
+val production : t -> int -> float
+(** Chamber units operation [op] must produce in total. *)
+
+val external_input : t -> int -> float
+(** Chamber units of fresh reagent dispensed into source operation [op]
+    beyond what its parents deliver ([production - sum of in-edges]);
+    for a source this is its whole production. *)
+
+val total_reagent : t -> float
+(** Total fresh reagent consumed by the assay (sum of
+    {!external_input} over all operations). *)
+
+val batches : t -> int -> int
+(** [ceil (production op)] — how many times the operation's component
+    chamber must be filled; at least 1. *)

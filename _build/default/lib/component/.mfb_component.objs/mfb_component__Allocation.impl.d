@@ -1,0 +1,1 @@
+lib/component/allocation.ml: Array Component Format Fun List Mfb_bioassay Printf

@@ -1,0 +1,1 @@
+lib/component/allocation.mli: Component Format Mfb_bioassay

@@ -1,0 +1,1 @@
+lib/component/component.ml: Format Mfb_bioassay Printf

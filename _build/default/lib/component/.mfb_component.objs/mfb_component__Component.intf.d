@@ -1,0 +1,1 @@
+lib/component/component.mli: Format Mfb_bioassay

@@ -1,0 +1,54 @@
+type t = { mixers : int; heaters : int; filters : int; detectors : int }
+
+let make ~mixers ~heaters ~filters ~detectors =
+  if mixers < 0 || heaters < 0 || filters < 0 || detectors < 0 then
+    invalid_arg "Allocation.make: negative count";
+  if mixers + heaters + filters + detectors = 0 then
+    invalid_arg "Allocation.make: empty allocation";
+  { mixers; heaters; filters; detectors }
+
+let of_vector (m, h, f, d) =
+  make ~mixers:m ~heaters:h ~filters:f ~detectors:d
+
+let total a = a.mixers + a.heaters + a.filters + a.detectors
+
+let count a = function
+  | Mfb_bioassay.Operation.Mix -> a.mixers
+  | Mfb_bioassay.Operation.Heat -> a.heaters
+  | Mfb_bioassay.Operation.Filter -> a.filters
+  | Mfb_bioassay.Operation.Detect -> a.detectors
+
+let components a =
+  let next = ref 0 in
+  let batch kind n =
+    List.init n (fun _ ->
+        let id = !next in
+        incr next;
+        Component.make ~id ~kind)
+  in
+  (* Bind each batch in turn: the [next] counter must advance mixers
+     first (evaluation order of [@] operands is unspecified). *)
+  let mixers = batch Mix a.mixers in
+  let heaters = batch Heat a.heaters in
+  let filters = batch Filter a.filters in
+  let detectors = batch Detect a.detectors in
+  mixers @ heaters @ filters @ detectors
+
+let covers a g =
+  let counts = Mfb_bioassay.Seq_graph.kind_counts g in
+  Array.for_all Fun.id
+    (Array.mapi
+       (fun i used ->
+         used = 0 || count a (Mfb_bioassay.Operation.kind_of_index i) > 0)
+       counts)
+
+let minimal_for g =
+  let counts = Mfb_bioassay.Seq_graph.kind_counts g in
+  let need i = if counts.(i) > 0 then 1 else 0 in
+  make ~mixers:(need 0) ~heaters:(need 1) ~filters:(need 2)
+    ~detectors:(need 3)
+
+let to_string a =
+  Printf.sprintf "(%d,%d,%d,%d)" a.mixers a.heaters a.filters a.detectors
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,37 @@
+(** Component allocations: how many components of each kind a design may
+    use — the "(Mixers, Heaters, Filters, Detectors)" vectors of the
+    paper's Table I. *)
+
+type t = {
+  mixers : int;
+  heaters : int;
+  filters : int;
+  detectors : int;
+}
+
+val make : mixers:int -> heaters:int -> filters:int -> detectors:int -> t
+(** @raise Invalid_argument on a negative count or an all-zero vector. *)
+
+val of_vector : int * int * int * int -> t
+(** [of_vector (m, h, f, d)] in Table-I order. *)
+
+val total : t -> int
+
+val count : t -> Mfb_bioassay.Operation.kind -> int
+
+val components : t -> Component.t list
+(** The concrete component instances, ids [0 .. total-1], mixers first,
+    then heaters, filters, detectors. *)
+
+val covers : t -> Mfb_bioassay.Seq_graph.t -> bool
+(** [covers a g] is true when every operation kind occurring in [g] has at
+    least one allocated component. *)
+
+val minimal_for : Mfb_bioassay.Seq_graph.t -> t
+(** One component per kind that occurs in the graph — the smallest legal
+    allocation. *)
+
+val to_string : t -> string
+(** Table-I style, e.g. ["(3,0,0,2)"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/control/actuation.ml: Float Int List Mfb_route Mfb_util Set Valve_map

@@ -1,0 +1,1 @@
+lib/control/actuation.mli: Mfb_route Valve_map

@@ -1,0 +1,1 @@
+lib/control/escape.ml: Hashtbl List Printf Queue Valve_map

@@ -1,0 +1,1 @@
+lib/control/escape.mli: Valve_map

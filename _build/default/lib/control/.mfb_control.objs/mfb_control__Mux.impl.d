@@ -1,0 +1,1 @@
+lib/control/mux.ml: Array Fun List Printf

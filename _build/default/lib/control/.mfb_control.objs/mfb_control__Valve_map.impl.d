@@ -1,0 +1,1 @@
+lib/control/valve_map.ml: Hashtbl List Mfb_route

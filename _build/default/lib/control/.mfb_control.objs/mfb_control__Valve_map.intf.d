@@ -1,0 +1,1 @@
+lib/control/valve_map.mli: Mfb_route

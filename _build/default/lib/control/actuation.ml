@@ -1,0 +1,77 @@
+module Routed = Mfb_route.Routed
+module Interval = Mfb_util.Interval
+
+type step = { time : float; open_valves : int list }
+
+module Int_set = Set.Make (Int)
+
+let steps ~tc valves (result : Routed.result) =
+  (* Per valve, the union of occupation windows of tasks crossing it. *)
+  let windows =
+    List.concat_map
+      (fun (task : Routed.task) ->
+        List.filter_map
+          (fun (xy, iv) ->
+            match Valve_map.index valves xy with
+            | Some v when not (Interval.is_empty iv) -> Some (v, iv)
+            | Some _ | None -> None)
+          (Routed.occupancy ~tc task))
+      result.tasks
+  in
+  let boundaries =
+    List.concat_map
+      (fun (_, iv) -> [ Interval.lo iv; Interval.hi iv ])
+      windows
+    |> List.sort_uniq Float.compare
+  in
+  let state_at t =
+    List.fold_left
+      (fun acc (v, iv) -> if Interval.contains iv t then Int_set.add v acc else acc)
+      Int_set.empty windows
+  in
+  let raw =
+    List.map (fun t -> (t, state_at t)) boundaries
+  in
+  let deduped =
+    List.fold_left
+      (fun acc (t, s) ->
+        match acc with
+        | (_, prev) :: _ when Int_set.equal prev s -> acc
+        | _ -> (t, s) :: acc)
+      [] raw
+    |> List.rev
+  in
+  let with_origin =
+    match deduped with
+    | (t, s) :: _ when t > 0. && not (Int_set.is_empty s) ->
+      (0., Int_set.empty) :: deduped
+    | _ -> deduped
+  in
+  List.map
+    (fun (time, s) -> { time; open_valves = Int_set.elements s })
+    with_origin
+
+let valve_switching steps =
+  let rec loop acc = function
+    | { open_valves = a; _ } :: ({ open_valves = b; _ } :: _ as rest) ->
+      let sa = Int_set.of_list a and sb = Int_set.of_list b in
+      let toggled =
+        Int_set.cardinal (Int_set.diff sa sb)
+        + Int_set.cardinal (Int_set.diff sb sa)
+      in
+      loop (acc + toggled) rest
+    | [ _ ] | [] -> acc
+  in
+  loop 0 steps
+
+let toggle_sequence steps =
+  let rec loop acc = function
+    | { open_valves = a; _ } :: ({ open_valves = b; _ } :: _ as rest) ->
+      let sa = Int_set.of_list a and sb = Int_set.of_list b in
+      let toggled =
+        Int_set.elements (Int_set.union (Int_set.diff sa sb) (Int_set.diff sb sa))
+      in
+      loop (List.rev_append toggled acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  loop [] steps

@@ -1,0 +1,26 @@
+(** Valve actuation timeline.
+
+    A valve is {e open} while some transport flows through (or caches in)
+    its cell; it is closed otherwise.  The timeline is the sequence of
+    distinct valve-state vectors at every occupation boundary, from which
+    the raw valve-switching count (the quantity Wang et al. minimise) is
+    derived. *)
+
+type step = {
+  time : float;            (** when this state becomes active *)
+  open_valves : int list;  (** valve indices open from [time], sorted *)
+}
+
+val steps : tc:float -> Valve_map.t -> Mfb_route.Routed.result -> step list
+(** [steps ~tc valves routing] is the actuation timeline, ordered by time,
+    starting with an all-closed state at 0 when nothing flows yet;
+    consecutive duplicate states are merged. *)
+
+val valve_switching : step list -> int
+(** Total number of valve open/close transitions over the timeline
+    (symmetric-difference count between consecutive states). *)
+
+val toggle_sequence : step list -> int list
+(** The valves that change state, flattened in time order (each
+    transition contributes the sorted list of toggled valves) — the event
+    sequence fed to {!Mux}. *)

@@ -1,0 +1,101 @@
+type t = {
+  lines : (int * (int * int) list) list;
+  failed : int list;
+  total_length : int;
+  pins : int;
+}
+
+let on_edge ~width ~height (x, y) =
+  x = 0 || y = 0 || x = width - 1 || y = height - 1
+
+(* Plain BFS: control lines are unweighted; first edge touch wins. *)
+let escape_one ~width ~height ~blocked start =
+  let seen = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen start ();
+  Queue.add start queue;
+  let rec reconstruct xy acc =
+    match Hashtbl.find_opt parent xy with
+    | None -> xy :: acc
+    | Some prev -> reconstruct prev (xy :: acc)
+  in
+  let rec search () =
+    if Queue.is_empty queue then None
+    else begin
+      let ((x, y) as xy) = Queue.pop queue in
+      if on_edge ~width ~height xy then Some (reconstruct xy [])
+      else begin
+        List.iter
+          (fun ((nx, ny) as n) ->
+            if nx >= 0 && ny >= 0 && nx < width && ny < height
+               && (not (Hashtbl.mem seen n))
+               && not (Hashtbl.mem blocked n)
+            then begin
+              Hashtbl.replace seen n ();
+              Hashtbl.replace parent n xy;
+              Queue.add n queue
+            end)
+          [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ];
+        search ()
+      end
+    end
+  in
+  search ()
+
+let route ?(resolution = 2) ~width ~height valves =
+  if resolution < 1 then invalid_arg "Escape.route: resolution < 1";
+  let sites = Valve_map.sites valves in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || y < 0 || x >= width || y >= height then
+        invalid_arg
+          (Printf.sprintf "Escape.route: valve (%d, %d) outside %dx%d" x y
+             width height))
+    sites;
+  (* Work on the finer control grid; a valve connects at the centre of
+     its flow cell. *)
+  let width = width * resolution and height = height * resolution in
+  let sites =
+    List.map
+      (fun (x, y) ->
+        ((x * resolution) + (resolution / 2),
+         (y * resolution) + (resolution / 2)))
+      sites
+  in
+  let blocked = Hashtbl.create 64 in
+  (* Every valve is an obstacle for other valves' lines. *)
+  List.iter (fun xy -> Hashtbl.replace blocked xy ()) sites;
+  let distance_to_edge (x, y) =
+    min (min x y) (min (width - 1 - x) (height - 1 - y))
+  in
+  let order =
+    List.mapi (fun i xy -> (i, xy)) sites
+    |> List.sort (fun (_, a) (_, b) ->
+           compare (distance_to_edge a) (distance_to_edge b))
+  in
+  let lines = ref [] and failed = ref [] in
+  List.iter
+    (fun (i, xy) ->
+      (* The valve's own cell must be enterable for its own line. *)
+      Hashtbl.remove blocked xy;
+      (match escape_one ~width ~height ~blocked xy with
+       | Some path ->
+         List.iter (fun cell -> Hashtbl.replace blocked cell ()) path;
+         lines := (i, path) :: !lines
+       | None ->
+         Hashtbl.replace blocked xy ();
+         failed := i :: !failed))
+    order;
+  let lines = List.rev !lines in
+  let pins =
+    List.map (fun (_, path) -> List.nth path (List.length path - 1)) lines
+    |> List.sort_uniq compare |> List.length
+  in
+  {
+    lines;
+    failed = List.rev !failed;
+    total_length =
+      List.fold_left (fun acc (_, path) -> acc + List.length path) 0 lines;
+    pins;
+  }

@@ -1,0 +1,26 @@
+(** Control-layer escape routing: connecting every valve to a pin at the
+    chip edge.
+
+    The control layer sits above the flow layer, so control lines may
+    freely cross flow channels and components — but not each other (a
+    single fabrication layer) and not other valves.  Valves are routed
+    nearest-to-edge first (the classic escape-routing order); each line
+    claims its cells as obstacles for the lines that follow. *)
+
+type t = {
+  lines : (int * (int * int) list) list;
+      (** (valve index, path from the valve cell to its edge pin,
+          inclusive), in routing order *)
+  failed : int list;  (** valves that could not escape (congestion) *)
+  total_length : int; (** cells across all lines *)
+  pins : int;         (** distinct edge cells used *)
+}
+
+val route : ?resolution:int -> width:int -> height:int -> Valve_map.t -> t
+(** [route ~width ~height valves] escape-routes every valve on a control
+    grid covering the [width x height] flow chip.  Control lines are much
+    finer than flow channels, so the control grid runs at [resolution]
+    (default 2) cells per flow cell; paths and lengths are reported in
+    control-grid cells.
+    @raise Invalid_argument when a valve lies outside the grid or
+    [resolution < 1]. *)

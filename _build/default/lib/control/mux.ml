@@ -1,0 +1,73 @@
+let pins_needed n =
+  if n < 0 then invalid_arg "Mux.pins_needed: negative";
+  if n <= 1 then if n = 0 then 0 else 1
+  else begin
+    let rec bits k acc = if k <= 1 then acc else bits ((k + 1) / 2) (acc + 1) in
+    bits n 0
+  end
+
+type assignment = int array
+
+let naive ~n = Array.init n Fun.id
+
+let hamming a b =
+  let rec popcount x acc =
+    if x = 0 then acc else popcount (x lsr 1) (acc + (x land 1))
+  in
+  popcount (a lxor b) 0
+
+let greedy ~events ~n =
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Mux.greedy: valve %d outside 0..%d" v (n - 1)))
+    events;
+  let code = Array.make n (-1) in
+  let taken = Array.make n false in
+  let closest_free reference =
+    let best = ref (-1) and best_distance = ref max_int in
+    for candidate = 0 to n - 1 do
+      if not taken.(candidate) then begin
+        let d = hamming reference candidate in
+        if d < !best_distance then begin
+          best := candidate;
+          best_distance := d
+        end
+      end
+    done;
+    !best
+  in
+  let previous = ref 0 in
+  List.iter
+    (fun v ->
+      if code.(v) = -1 then begin
+        let c = closest_free !previous in
+        code.(v) <- c;
+        taken.(c) <- true
+      end;
+      previous := code.(v))
+    events;
+  (* Valves never actuated get the leftover codes. *)
+  Array.iteri
+    (fun v c ->
+      if c = -1 then begin
+        let free = closest_free 0 in
+        code.(v) <- free;
+        taken.(free) <- true
+      end)
+    code;
+  code
+
+let switching_cost assignment ~events =
+  let previous = ref 0 in
+  List.fold_left
+    (fun acc v ->
+      let c = assignment.(v) in
+      let d = hamming !previous c in
+      previous := c;
+      acc + d)
+    0 events
+
+let improvement_percent ~naive ~optimized =
+  if naive = 0 then 0.
+  else float_of_int (naive - optimized) /. float_of_int naive *. 100.

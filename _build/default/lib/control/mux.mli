@@ -1,0 +1,36 @@
+(** Control-layer multiplexing with Hamming-distance-based address
+    assignment (the optimization of Wang et al., ASP-DAC 2017, cited as
+    the paper's future-work direction).
+
+    A control multiplexer drives [n] valves through [ceil (log2 n)]
+    control pins; actuating a valve means presenting its binary address on
+    the pins.  The pins toggle by the Hamming distance between consecutive
+    addresses, so the address assignment decides the total control-layer
+    switching activity for a fixed actuation sequence. *)
+
+val pins_needed : int -> int
+(** [pins_needed n] is [ceil (log2 n)] (and 1 for [n <= 2], 0 for
+    [n <= 1]).
+    @raise Invalid_argument if [n < 0]. *)
+
+type assignment = private int array
+(** [assignment.(v)] is the address code of valve [v]; codes are a
+    permutation of [0 .. n-1]. *)
+
+val naive : n:int -> assignment
+(** Identity assignment: valve [v] gets address [v]. *)
+
+val greedy : events:int list -> n:int -> assignment
+(** Hamming-greedy assignment: walk the actuation sequence and give each
+    newly-seen valve the unused address closest (in Hamming distance) to
+    the address of the previous event's valve; remaining valves get the
+    leftover codes.
+    @raise Invalid_argument if an event references a valve outside
+    [0 .. n-1]. *)
+
+val switching_cost : assignment -> events:int list -> int
+(** Total pin toggles: the sum of Hamming distances between the addresses
+    of consecutive events (the first event is driven from address 0). *)
+
+val improvement_percent : naive:int -> optimized:int -> float
+(** Reduction of the optimized cost relative to the naive one, percent. *)

@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Array Config Float Hashtbl List Mfb_bioassay Mfb_component Mfb_schedule

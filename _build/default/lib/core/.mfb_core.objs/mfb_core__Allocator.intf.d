@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Mfb_bioassay Mfb_component

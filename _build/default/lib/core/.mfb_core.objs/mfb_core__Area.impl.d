@@ -1,0 +1,1 @@
+lib/core/area.ml: List Mfb_place Mfb_route Result

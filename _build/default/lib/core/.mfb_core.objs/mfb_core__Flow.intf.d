@@ -1,0 +1,1 @@
+lib/core/flow.mli: Config Mfb_bioassay Mfb_component Result

@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Array Buffer Bytes Float List Mfb_bioassay Mfb_component Mfb_schedule Printf String

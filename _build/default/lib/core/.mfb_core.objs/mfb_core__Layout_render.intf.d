@@ -1,0 +1,1 @@
+lib/core/layout_render.mli: Result

@@ -1,0 +1,1 @@
+lib/core/layout_svg.ml: Array Buffer List Mfb_bioassay Mfb_component Mfb_place Mfb_route Out_channel Printf Result

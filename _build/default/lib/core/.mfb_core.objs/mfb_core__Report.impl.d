@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Float List Mfb_bioassay Mfb_component Mfb_schedule Mfb_util Printf Result String

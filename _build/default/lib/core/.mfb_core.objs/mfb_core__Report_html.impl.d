@@ -1,0 +1,1 @@
+lib/core/report_html.ml: Buffer Float Layout_svg List Mfb_bioassay Mfb_component Mfb_schedule Mfb_util Out_channel Printf Result String

@@ -1,0 +1,1 @@
+lib/core/result.mli: Format Mfb_place Mfb_route Mfb_schedule Mfb_util

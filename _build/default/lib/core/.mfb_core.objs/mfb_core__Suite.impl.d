@@ -1,0 +1,1 @@
+lib/core/suite.ml: List Mfb_bioassay Mfb_component String

@@ -1,0 +1,1 @@
+lib/core/suite.mli: Mfb_bioassay Mfb_component

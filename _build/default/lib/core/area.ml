@@ -1,0 +1,32 @@
+let active_cells (r : Result.t) =
+  Mfb_place.Chip.blocked_cells r.chip
+  @ Mfb_route.Rgrid.used_cells r.routing.Mfb_route.Routed.grid
+
+let bounding_box (r : Result.t) =
+  match active_cells r with
+  | [] -> (0, 0, r.chip.width, r.chip.height)
+  | (x0, y0) :: rest ->
+    let min_x, min_y, max_x, max_y =
+      List.fold_left
+        (fun (a, b, c, d) (x, y) -> (min a x, min b y, max c x, max d y))
+        (x0, y0, x0, y0) rest
+    in
+    (min_x, min_y, max_x - min_x + 1, max_y - min_y + 1)
+
+let component_area_cells (r : Result.t) =
+  List.length (Mfb_place.Chip.blocked_cells r.chip)
+
+let channel_area_cells (r : Result.t) =
+  List.length (Mfb_route.Rgrid.used_cells r.routing.Mfb_route.Routed.grid)
+
+let used_area_cells r =
+  List.length (List.sort_uniq compare (active_cells r))
+
+let utilised_fraction r =
+  let _, _, w, h = bounding_box r in
+  let box = w * h in
+  if box = 0 then 0. else float_of_int (used_area_cells r) /. float_of_int box
+
+let storage_unit_area_cells ~capacity =
+  if capacity < 0 then invalid_arg "Area.storage_unit_area_cells: negative";
+  (4 * capacity) + 4

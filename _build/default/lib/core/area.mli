@@ -1,0 +1,27 @@
+(** Chip-area accounting.
+
+    The paper argues DCSA "effectively reduce[s] the chip area due to the
+    removal of dedicated storage" (§II-C2); this module quantifies the
+    footprint of a synthesised design, in grid cells. *)
+
+val bounding_box : Result.t -> int * int * int * int
+(** [(x, y, w, h)] in grid cells of the smallest rectangle containing
+    every component footprint and every used channel cell; the whole grid
+    when the design is empty. *)
+
+val used_area_cells : Result.t -> int
+(** Cells actually consumed: component footprints plus channel cells. *)
+
+val component_area_cells : Result.t -> int
+
+val channel_area_cells : Result.t -> int
+
+val utilised_fraction : Result.t -> float
+(** [used_area_cells / bounding-box area]: how densely the active region
+    is packed; [0.] for an empty design. *)
+
+val storage_unit_area_cells : capacity:int -> int
+(** Footprint a dedicated storage unit of the given capacity would add
+    (one 2x2 cell block per stored fluid plus a 2x2 port/multiplexer
+    block): [4 * capacity + 4] — the area DCSA saves.
+    @raise Invalid_argument if [capacity < 0]. *)

@@ -1,0 +1,41 @@
+let run ?(config = Config.default) ?(route_io = false) ?(flow_name = "ba")
+    graph allocation =
+  Config.validate config;
+  let started = Sys.time () in
+  let sched =
+    Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph allocation
+  in
+  let nets = Mfb_place.Net.of_schedule sched in
+  (* The baseline placement corrects plain wirelength only. *)
+  let weighted = Mfb_place.Energy.uniform nets in
+  let chip = Mfb_place.Greedy_place.place ~nets:weighted sched.components in
+  let routing =
+    Mfb_route.Baseline_router.route ~route_io ~we:config.we ~tc:config.tc
+      chip sched
+  in
+  let delays =
+    List.filter_map
+      (fun (task : Mfb_route.Routed.task) ->
+        if task.kind = Mfb_route.Routed.Transport && task.delay > 0. then
+          Some (task.transport.Mfb_schedule.Types.edge, task.delay)
+        else None)
+      routing.tasks
+  in
+  (* A dispense that had to arrive late pushes its operation's start. *)
+  let op_delays =
+    List.filter_map
+      (fun (task : Mfb_route.Routed.task) ->
+        if task.kind = Mfb_route.Routed.Dispense && task.delay > 0. then
+          Some (fst task.transport.Mfb_schedule.Types.edge, task.delay)
+        else None)
+      routing.tasks
+  in
+  let final_sched =
+    if delays = [] && op_delays = [] then sched
+    else Mfb_schedule.Retime.with_transport_delays ~op_delays sched ~delays
+  in
+  Result.of_stages
+    ~benchmark:(Mfb_bioassay.Seq_graph.name graph)
+    ~flow:flow_name
+    ~cpu_time:(Sys.time () -. started)
+    ~schedule:final_sched ~chip ~routing

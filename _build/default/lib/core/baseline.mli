@@ -1,0 +1,13 @@
+(** The paper's comparison baseline (BA): earliest-ready binding, then a
+    construction-by-correction placement-and-routing solution whose
+    postponements are retimed into the final schedule. *)
+
+val run :
+  ?config:Config.t ->
+  ?route_io:bool ->
+  ?flow_name:string ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  Result.t
+(** [run g alloc] synthesises the baseline physical design under the
+    same parameters as {!Flow.run}. *)

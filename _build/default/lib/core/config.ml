@@ -1,0 +1,18 @@
+type t = {
+  tc : float;
+  we : float;
+  beta : float;
+  gamma : float;
+  sa : Mfb_place.Annealer.params;
+  seed : int;
+}
+
+let default =
+  { tc = 2.0; we = 10.0; beta = 0.6; gamma = 0.4;
+    sa = Mfb_place.Annealer.default_params; seed = 42 }
+
+let validate cfg =
+  if cfg.tc <= 0. then invalid_arg "Config: tc must be positive";
+  if cfg.we < 0. then invalid_arg "Config: we must be non-negative";
+  if cfg.beta < 0. || cfg.gamma < 0. then
+    invalid_arg "Config: beta and gamma must be non-negative"

@@ -1,0 +1,17 @@
+(** Synthesis-flow parameters.  Defaults are the paper's §V settings:
+    alpha = 0.9, beta = 0.6, gamma = 0.4, T0 = 10000, I_max = 150,
+    T_min = 1.0, t_c = 2.0, w_e = 10. *)
+
+type t = {
+  tc : float;     (** transport-time constant between components (s) *)
+  we : float;     (** initial routing-cell weight *)
+  beta : float;   (** concurrency weight in Eq. 4 *)
+  gamma : float;  (** wash-time weight in Eq. 4 *)
+  sa : Mfb_place.Annealer.params;  (** annealing schedule *)
+  seed : int;     (** RNG seed for the annealer *)
+}
+
+val default : t
+
+val validate : t -> unit
+(** @raise Invalid_argument when a parameter is out of range. *)

@@ -1,0 +1,98 @@
+let log_src = Logs.Src.create "mfb.flow" ~doc:"DCSA synthesis flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type scheduler = [ `Dcsa | `Earliest_ready ]
+
+type placement_energy = [ `Connection_priority | `Uniform ]
+
+type placer = [ `Annealing | `Force_directed ]
+
+type router = [ `Sequential | `Negotiated ]
+
+let run ?(config = Config.default) ?(scheduler = `Dcsa)
+    ?(placement_energy = `Connection_priority) ?(placer = `Annealing)
+    ?(router = `Sequential) ?(weight_update = true) ?(route_io = false)
+    ?(flow_name = "ours") graph allocation =
+  Config.validate config;
+  let started = Sys.time () in
+  let stage name t0 =
+    Log.debug (fun m ->
+        m "%s: %s finished in %.1f ms"
+          (Mfb_bioassay.Seq_graph.name graph)
+          name
+          (1000. *. (Sys.time () -. t0)))
+  in
+  (* Stage 1: binding and scheduling (paper Alg. 1). *)
+  let sched =
+    match scheduler with
+    | `Dcsa -> Mfb_schedule.Dcsa_scheduler.schedule ~tc:config.tc graph allocation
+    | `Earliest_ready ->
+      Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph allocation
+  in
+  stage "scheduling" started;
+  let t_place = Sys.time () in
+  (* Stage 2: placement (paper Alg. 2, lines 1-8). *)
+  let nets = Mfb_place.Net.of_schedule sched in
+  let weighted =
+    match placement_energy with
+    | `Connection_priority ->
+      Mfb_place.Energy.weigh ~beta:config.beta ~gamma:config.gamma nets
+    | `Uniform -> Mfb_place.Energy.uniform nets
+  in
+  let chip =
+    match placer with
+    | `Annealing ->
+      let rng = Mfb_util.Rng.create config.seed in
+      (Mfb_place.Annealer.place ~params:config.sa ~rng ~nets:weighted
+         sched.components)
+        .chip
+    | `Force_directed ->
+      (Mfb_place.Force_place.place ~nets:weighted sched.components).chip
+  in
+  stage "placement" t_place;
+  let t_route = Sys.time () in
+  (* Stage 3: conflict-aware routing (paper Alg. 2, lines 9-18). *)
+  let routing =
+    match router with
+    | `Sequential ->
+      Mfb_route.Router.route ~weight_update ~route_io ~we:config.we
+        ~tc:config.tc chip sched
+    | `Negotiated ->
+      Mfb_route.Negotiated_router.route ~weight_update ~route_io
+        ~we:config.we ~tc:config.tc chip sched
+  in
+  stage "routing" t_route;
+  Log.info (fun m ->
+      m "%s/%s: %d transports, %d unresolved, %.0f mm of channels"
+        (Mfb_bioassay.Seq_graph.name graph)
+        flow_name
+        (List.length sched.transports)
+        routing.unresolved routing.total_channel_length_mm);
+  (* Any routing postponements flow back into the schedule. *)
+  let delays =
+    List.filter_map
+      (fun (task : Mfb_route.Routed.task) ->
+        if task.kind = Mfb_route.Routed.Transport && task.delay > 0. then
+          Some (task.transport.Mfb_schedule.Types.edge, task.delay)
+        else None)
+      routing.tasks
+  in
+  (* A dispense that had to arrive late pushes its operation's start. *)
+  let op_delays =
+    List.filter_map
+      (fun (task : Mfb_route.Routed.task) ->
+        if task.kind = Mfb_route.Routed.Dispense && task.delay > 0. then
+          Some (fst task.transport.Mfb_schedule.Types.edge, task.delay)
+        else None)
+      routing.tasks
+  in
+  let final_sched =
+    if delays = [] && op_delays = [] then sched
+    else Mfb_schedule.Retime.with_transport_delays ~op_delays sched ~delays
+  in
+  Result.of_stages
+    ~benchmark:(Mfb_bioassay.Seq_graph.name graph)
+    ~flow:flow_name
+    ~cpu_time:(Sys.time () -. started)
+    ~schedule:final_sched ~chip ~routing

@@ -1,0 +1,38 @@
+(** The paper's top-down synthesis flow: Alg. 1 binding/scheduling, then
+    Alg. 2 placement (simulated annealing over Eq. 3) and
+    conflict-aware routing, then retiming under any routing
+    postponements. *)
+
+type scheduler = [ `Dcsa | `Earliest_ready ]
+(** [`Dcsa] is the paper's Case-I/Case-II strategy; [`Earliest_ready] is
+    the ablation A1 (binding rule of the baseline inside our flow). *)
+
+type placement_energy = [ `Connection_priority | `Uniform ]
+(** [`Connection_priority] weights Eq. 3 by Eq. 4; [`Uniform] is the
+    ablation A2 (plain wirelength). *)
+
+type placer = [ `Annealing | `Force_directed ]
+(** [`Annealing] is the paper's SA (Alg. 2); [`Force_directed] is the
+    fast quadratic-relaxation alternative ({!Mfb_place.Force_place}). *)
+
+type router = [ `Sequential | `Negotiated ]
+(** [`Sequential] is the paper's conflict-pruned A* (Alg. 2 lines 9-18);
+    [`Negotiated] is PathFinder-style rip-up-and-re-route
+    ({!Mfb_route.Negotiated_router}). *)
+
+val run :
+  ?config:Config.t ->
+  ?scheduler:scheduler ->
+  ?placement_energy:placement_energy ->
+  ?placer:placer ->
+  ?router:router ->
+  ?weight_update:bool ->
+  ?route_io:bool ->
+  ?flow_name:string ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  Result.t
+(** [run g alloc] synthesises the full physical design with the paper's
+    parameters.  [weight_update:false] is the ablation A3; [route_io] (default false)
+    additionally routes inlet dispensing and waste runs (the I/O study).  The reported
+    [cpu_time] is the process CPU time consumed by the three stages. *)

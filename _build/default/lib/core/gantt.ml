@@ -1,0 +1,59 @@
+module Types = Mfb_schedule.Types
+
+let render ?(width = 72) (sched : Types.t) =
+  let makespan = Float.max sched.makespan 1e-9 in
+  let col t =
+    let c = int_of_float (Float.round (float_of_int width *. t /. makespan)) in
+    min width (max 0 c)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s on %s: %.1f s\n"
+       (Mfb_bioassay.Seq_graph.name sched.graph)
+       (Mfb_component.Allocation.to_string sched.allocation)
+       sched.makespan);
+  Array.iter
+    (fun (comp : Mfb_component.Component.t) ->
+      let lane = Bytes.make (width + 1) '.' in
+      (* Washes first so operation blocks draw over them when rounding
+         makes them touch. *)
+      List.iter
+        (fun (w : Types.wash_event) ->
+          if w.component = comp.id then
+            for i = col w.wash_start
+                to min width (col (w.wash_start +. w.wash_duration)) do
+              Bytes.set lane i '~'
+            done)
+        sched.washes;
+      let label_of op = Printf.sprintf "o%d" op in
+      List.iter
+        (fun (op, (t : Types.op_times)) ->
+          let a = col t.start and b = col t.finish in
+          for i = a to min width b do
+            Bytes.set lane i '#'
+          done;
+          (* Write the label inside the block when it fits. *)
+          let label = label_of op in
+          if b - a + 1 > String.length label then
+            String.iteri (fun k ch -> Bytes.set lane (a + 1 + k) ch) label)
+        (Types.ops_on_component sched comp.id);
+      let active = Mfb_schedule.Metrics.busy_time sched comp.id in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s |%s| %4.0f%%\n"
+           (Mfb_component.Component.label comp)
+           (Bytes.to_string lane)
+           (100. *. active /. makespan)))
+    sched.components;
+  (* Time axis. *)
+  let axis = Bytes.make (width + 1) ' ' in
+  let rec ticks t =
+    if t <= makespan then begin
+      Bytes.set axis (col t) '|';
+      ticks (t +. (makespan /. 6.))
+    end
+  in
+  ticks 0.;
+  Buffer.add_string buf (Printf.sprintf "%-10s  %s\n" "" (Bytes.to_string axis));
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s  0%*s%.1f s\n" "" (width - 6) "" makespan);
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** ASCII Gantt chart of a schedule, in the style of the paper's Fig. 3:
+    one lane per component, operation blocks labelled with their id,
+    washes shown as [~], idle time as [.]. *)
+
+val render : ?width:int -> Mfb_schedule.Types.t -> string
+(** [render ?width sched] draws the schedule scaled to about [width]
+    character columns (default 72).  Each lane ends with the component's
+    utilisation ratio. *)

@@ -1,0 +1,41 @@
+let kind_char = function
+  | Mfb_bioassay.Operation.Mix -> 'M'
+  | Mfb_bioassay.Operation.Heat -> 'H'
+  | Mfb_bioassay.Operation.Filter -> 'F'
+  | Mfb_bioassay.Operation.Detect -> 'D'
+
+let render (r : Result.t) =
+  let chip = r.chip in
+  let grid = r.routing.Mfb_route.Routed.grid in
+  let canvas = Array.make_matrix chip.height chip.width '.' in
+  List.iter
+    (fun (x, y) -> canvas.(y).(x) <- '+')
+    (Mfb_route.Rgrid.used_cells grid);
+  Array.iteri
+    (fun i (c : Mfb_component.Component.t) ->
+      let x, y, w, h = Mfb_place.Chip.footprint chip i in
+      for cx = x to x + w - 1 do
+        for cy = y to y + h - 1 do
+          canvas.(cy).(cx) <- kind_char c.kind
+        done
+      done;
+      let px, py = Mfb_route.Rgrid.port grid i in
+      canvas.(py).(px) <- 'o')
+    chip.components;
+  let buf = Buffer.create (chip.width * chip.height * 2) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (%s): %dx%d cells, %.0f mm of channels\n" r.benchmark
+       r.flow chip.width chip.height r.channel_length_mm);
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    canvas;
+  Array.iteri
+    (fun i (c : Mfb_component.Component.t) ->
+      let x, y, _, _ = Mfb_place.Chip.footprint chip i in
+      Buffer.add_string buf
+        (Printf.sprintf "  %c%d = %s @ (%d,%d)\n" (kind_char c.kind) i
+           (Mfb_component.Component.label c) x y))
+    chip.components;
+  Buffer.contents buf

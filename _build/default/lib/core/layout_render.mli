@@ -1,0 +1,7 @@
+(** ASCII rendering of a synthesised chip layout: component footprints,
+    ports, and the routed channel network. *)
+
+val render : Result.t -> string
+(** One character per grid cell: components are drawn with per-kind
+    letters ([M]/[H]/[F]/[D]), channel cells as [+], ports as [o], and
+    free cells as [.]; a legend with component anchors follows. *)

@@ -1,0 +1,78 @@
+let kind_fill = function
+  | Mfb_bioassay.Operation.Mix -> "#4e79a7"
+  | Mfb_bioassay.Operation.Heat -> "#e15759"
+  | Mfb_bioassay.Operation.Filter -> "#76b7b2"
+  | Mfb_bioassay.Operation.Detect -> "#f28e2b"
+
+let render ?(cell_px = 24) (r : Result.t) =
+  let chip = r.chip in
+  let grid = r.routing.Mfb_route.Routed.grid in
+  let px n = n * cell_px in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    (px chip.width)
+    (px chip.height + 24)
+    (px chip.width)
+    (px chip.height + 24);
+  out "<rect width=\"%d\" height=\"%d\" fill=\"#f7f5f0\"/>\n" (px chip.width)
+    (px chip.height);
+  (* Channel cells. *)
+  List.iter
+    (fun (x, y) ->
+      out
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#b6d0e8\" \
+         stroke=\"#8ab\" stroke-width=\"1\"/>\n"
+        (px x) (px y) cell_px cell_px)
+    (Mfb_route.Rgrid.used_cells grid);
+  (* Grid lines (light). *)
+  for x = 0 to chip.width do
+    out
+      "<line x1=\"%d\" y1=\"0\" x2=\"%d\" y2=\"%d\" stroke=\"#e3e0d8\" \
+       stroke-width=\"0.5\"/>\n"
+      (px x) (px x) (px chip.height)
+  done;
+  for y = 0 to chip.height do
+    out
+      "<line x1=\"0\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#e3e0d8\" \
+       stroke-width=\"0.5\"/>\n"
+      (px y) (px chip.width) (px y)
+  done;
+  (* Components. *)
+  Array.iteri
+    (fun i (c : Mfb_component.Component.t) ->
+      let x, y, w, h = Mfb_place.Chip.footprint chip i in
+      out
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+         stroke=\"#333\" stroke-width=\"1.5\" rx=\"4\"/>\n"
+        (px x) (px y) (px w) (px h) (kind_fill c.kind);
+      out
+        "<text x=\"%d\" y=\"%d\" font-family=\"sans-serif\" font-size=\"%d\" \
+         fill=\"white\" text-anchor=\"middle\">%s</text>\n"
+        (px x + (px w / 2))
+        (px y + (px h / 2) + (cell_px / 4))
+        (cell_px / 2)
+        (Mfb_component.Component.label c);
+      List.iter
+        (fun (portx, porty) ->
+          out
+            "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"#2a2\" \
+             stroke=\"#050\"/>\n"
+            (px portx + (cell_px / 2))
+            (px porty + (cell_px / 2))
+            (cell_px / 5))
+        (Mfb_route.Rgrid.ports grid i))
+    chip.components;
+  out
+    "<text x=\"4\" y=\"%d\" font-family=\"sans-serif\" font-size=\"14\" \
+     fill=\"#333\">%s (%s): %.1f s, %.0f mm of channels</text>\n"
+    (px chip.height + 17)
+    r.benchmark r.flow r.execution_time r.channel_length_mm;
+  out "</svg>\n";
+  Buffer.contents buf
+
+let to_file ?cell_px path r =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render ?cell_px r))

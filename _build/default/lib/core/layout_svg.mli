@@ -1,0 +1,9 @@
+(** SVG rendering of a synthesised chip: component footprints (coloured by
+    kind, labelled), the routed channel network, and component ports.
+    Self-contained SVG 1.1, no external assets. *)
+
+val render : ?cell_px:int -> Result.t -> string
+(** [render ?cell_px result] draws the chip at [cell_px] pixels per grid
+    cell (default 24). *)
+
+val to_file : ?cell_px:int -> string -> Result.t -> unit

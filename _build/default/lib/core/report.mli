@@ -1,0 +1,22 @@
+(** Formatting of experiment outputs in the shape of the paper's Table I
+    and Figs. 8-9. *)
+
+val table1 : (Result.t * Result.t) list -> string
+(** [table1 pairs] renders Table I from (ours, baseline) result pairs:
+    execution time, resource utilization, total channel length, CPU time,
+    with per-row and average improvement percentages. *)
+
+val figure :
+  title:string ->
+  unit_label:string ->
+  value:(Result.t -> float) ->
+  (Result.t * Result.t) list ->
+  string
+(** [figure ~title ~unit_label ~value pairs] renders a two-series text
+    bar chart (ours vs BA) of [value] per benchmark — used for Fig. 8
+    (total channel cache time) and Fig. 9 (total channel wash time). *)
+
+val fig8 : (Result.t * Result.t) list -> string
+val fig9 : (Result.t * Result.t) list -> string
+
+val suite_to_json : (Result.t * Result.t) list -> Mfb_util.Json.t

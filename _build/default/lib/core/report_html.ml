@@ -1,0 +1,125 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto; max-width: 70rem; color: #222; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.2rem; margin-top: 2.2rem; border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .9rem; }
+th, td { border: 1px solid #ccc; padding: .35rem .6rem; text-align: right; }
+th { background: #f3f1ec; } td:first-child, th:first-child { text-align: left; }
+.bar { display: inline-block; height: .8rem; border-radius: 2px; vertical-align: middle; }
+.ours { background: #4e79a7; } .ba { background: #e15759; }
+.bench { font-weight: 600; } .svgrow { display: flex; flex-wrap: wrap; gap: 1.5rem; }
+.num { font-variant-numeric: tabular-nums; } figure { margin: 0; } figcaption { font-size: .85rem; color: #555; }
+.better { color: #2a7d2a; font-weight: 600; } .worse { color: #b33; font-weight: 600; }|}
+
+let pct ~ours ~ba = Mfb_util.Stats.percent_improvement ~ours ~baseline:ba
+
+let imp_cell value =
+  let cls = if value >= 0. then "better" else "worse" in
+  Printf.sprintf {|<td class="%s">%.1f</td>|} cls value
+
+let table1 buf pairs =
+  Buffer.add_string buf
+    {|<h2>Table I — execution time, resource utilization, channel length</h2>
+<table><tr><th>Benchmark</th><th>Ops</th><th>Alloc</th>
+<th>Exec ours (s)</th><th>Exec BA (s)</th><th>Imp (%)</th>
+<th>Util ours (%)</th><th>Util BA (%)</th>
+<th>Chan ours (mm)</th><th>Chan BA (mm)</th><th>Imp (%)</th></tr>|};
+  List.iter
+    (fun ((ours : Result.t), (ba : Result.t)) ->
+      let g = ours.schedule.Mfb_schedule.Types.graph in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<tr><td class="bench">%s</td><td>%d</td><td>%s</td>
+<td>%.1f</td><td>%.1f</td>%s
+<td>%.1f</td><td>%.1f</td>
+<td>%.0f</td><td>%.0f</td>%s</tr>|}
+           (escape ours.benchmark)
+           (Mfb_bioassay.Seq_graph.n_ops g)
+           (escape
+              (Mfb_component.Allocation.to_string
+                 ours.schedule.Mfb_schedule.Types.allocation))
+           ours.execution_time ba.execution_time
+           (imp_cell (pct ~ours:ours.execution_time ~ba:ba.execution_time))
+           (100. *. ours.utilization)
+           (100. *. ba.utilization)
+           ours.channel_length_mm ba.channel_length_mm
+           (imp_cell
+              (pct ~ours:ours.channel_length_mm ~ba:ba.channel_length_mm))))
+    pairs;
+  Buffer.add_string buf "</table>\n"
+
+let bar_chart buf ~title ~unit_label ~value pairs =
+  Buffer.add_string buf (Printf.sprintf "<h2>%s</h2>\n<table>" (escape title));
+  let max_value =
+    List.fold_left
+      (fun acc (ours, ba) -> Float.max acc (Float.max (value ours) (value ba)))
+      1e-9 pairs
+  in
+  let width v = int_of_float (320. *. v /. max_value) in
+  List.iter
+    (fun ((ours : Result.t), ba) ->
+      let vo = value ours and vb = value ba in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|<tr><td class="bench">%s</td>
+<td style="text-align:left"><span class="bar ours" style="width:%dpx"></span> %.1f %s (ours)<br/>
+<span class="bar ba" style="width:%dpx"></span> %.1f %s (BA)</td></tr>|}
+           (escape ours.benchmark) (width vo) vo unit_label (width vb) vb
+           unit_label))
+    pairs;
+  Buffer.add_string buf "</table>\n"
+
+let layouts buf pairs =
+  Buffer.add_string buf "<h2>Synthesised layouts (proposed flow)</h2>\n";
+  Buffer.add_string buf {|<div class="svgrow">|};
+  List.iter
+    (fun ((ours : Result.t), _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<figure>%s<figcaption>%s</figcaption></figure>\n"
+           (Layout_svg.render ~cell_px:10 ours)
+           (escape ours.benchmark)))
+    pairs;
+  Buffer.add_string buf "</div>\n"
+
+let render pairs =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|<!DOCTYPE html>
+<html><head><meta charset="utf-8"/>
+<title>DCSA physical synthesis — reproduction report</title>
+<style>%s</style></head><body>
+<h1>Physical Synthesis of Flow-Based Microfluidic Biochips with Distributed Channel Storage</h1>
+<p>Reproduction of Chen et al., DATE 2019 — proposed flow vs the
+construction-by-correction baseline, paper parameters
+(&alpha;=0.9, &beta;=0.6, &gamma;=0.4, T<sub>0</sub>=10000, I<sub>max</sub>=150,
+T<sub>min</sub>=1.0, t<sub>c</sub>=2.0, w<sub>e</sub>=10).</p>|}
+       style);
+  table1 buf pairs;
+  bar_chart buf ~title:"Figure 8 — total cache time in flow channels"
+    ~unit_label:"s"
+    ~value:(fun (r : Result.t) -> r.channel_cache_time)
+    pairs;
+  bar_chart buf ~title:"Figure 9 — total wash time of flow channels"
+    ~unit_label:"s"
+    ~value:(fun (r : Result.t) -> r.channel_wash_time)
+    pairs;
+  layouts buf pairs;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let to_file path pairs =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (render pairs))

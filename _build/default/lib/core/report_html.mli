@@ -1,0 +1,8 @@
+(** Standalone HTML report of a suite comparison: Table I, Figs. 8-9 as
+    bar charts, and the synthesised chip layouts inline as SVG.  No
+    external assets; open the file in any browser. *)
+
+val render : (Result.t * Result.t) list -> string
+(** [render pairs] builds the report from (ours, baseline) pairs. *)
+
+val to_file : string -> (Result.t * Result.t) list -> unit

@@ -1,0 +1,48 @@
+module Metrics = Mfb_schedule.Metrics
+
+type t = {
+  benchmark : string;
+  flow : string;
+  schedule : Mfb_schedule.Types.t;
+  chip : Mfb_place.Chip.t;
+  routing : Mfb_route.Routed.result;
+  execution_time : float;
+  utilization : float;
+  channel_length_mm : float;
+  channel_cache_time : float;
+  channel_wash_time : float;
+  component_wash_time : float;
+  cpu_time : float;
+}
+
+let of_stages ~benchmark ~flow ~cpu_time ~schedule ~chip ~routing =
+  {
+    benchmark; flow; schedule; chip; routing;
+    execution_time = Metrics.completion_time schedule;
+    utilization = Metrics.resource_utilization schedule;
+    channel_length_mm = routing.Mfb_route.Routed.total_channel_length_mm;
+    channel_cache_time = Metrics.total_channel_cache_time schedule;
+    channel_wash_time = routing.Mfb_route.Routed.total_channel_wash;
+    component_wash_time = Metrics.total_component_wash_time schedule;
+    cpu_time;
+  }
+
+let to_json r =
+  Mfb_util.Json.Obj
+    [
+      ("benchmark", Mfb_util.Json.String r.benchmark);
+      ("flow", Mfb_util.Json.String r.flow);
+      ("execution_time_s", Mfb_util.Json.Float r.execution_time);
+      ("utilization", Mfb_util.Json.Float r.utilization);
+      ("channel_length_mm", Mfb_util.Json.Float r.channel_length_mm);
+      ("channel_cache_time_s", Mfb_util.Json.Float r.channel_cache_time);
+      ("channel_wash_time_s", Mfb_util.Json.Float r.channel_wash_time);
+      ("component_wash_time_s", Mfb_util.Json.Float r.component_wash_time);
+      ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
+    ]
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "%s/%s: exec=%.1fs util=%.1f%% channel=%.0fmm cache=%.1fs wash=%.1fs cpu=%.3fs"
+    r.benchmark r.flow r.execution_time (100. *. r.utilization)
+    r.channel_length_mm r.channel_cache_time r.channel_wash_time r.cpu_time

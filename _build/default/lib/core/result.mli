@@ -1,0 +1,32 @@
+(** End-to-end physical-synthesis result: the quantities reported in the
+    paper's Table I and Figs. 8-9 for one benchmark and one flow. *)
+
+type t = {
+  benchmark : string;
+  flow : string;                     (** ["ours"] or ["ba"] (or ablations) *)
+  schedule : Mfb_schedule.Types.t;   (** final (post-retiming) schedule *)
+  chip : Mfb_place.Chip.t;
+  routing : Mfb_route.Routed.result;
+  execution_time : float;            (** Table I "Execution time (s)" *)
+  utilization : float;               (** Table I "Resource utilization", in [0,1] *)
+  channel_length_mm : float;         (** Table I "Total channel length (mm)" *)
+  channel_cache_time : float;        (** Fig. 8 "total cache time" *)
+  channel_wash_time : float;         (** Fig. 9 "total wash time of flow channels" *)
+  component_wash_time : float;       (** auxiliary: component washes *)
+  cpu_time : float;                  (** Table I "CPU time (s)" *)
+}
+
+val of_stages :
+  benchmark:string ->
+  flow:string ->
+  cpu_time:float ->
+  schedule:Mfb_schedule.Types.t ->
+  chip:Mfb_place.Chip.t ->
+  routing:Mfb_route.Routed.result ->
+  t
+(** Derive all scalar metrics from the three stage outputs. *)
+
+val to_json : t -> Mfb_util.Json.t
+(** Scalar metrics only (no schedule/layout dump). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type instance = {
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;
+}
+
+let make graph vector =
+  { graph; allocation = Mfb_component.Allocation.of_vector vector }
+
+let pcr () = make (Mfb_bioassay.Benchmarks.pcr ()) (3, 0, 0, 0)
+let ivd () = make (Mfb_bioassay.Benchmarks.ivd ()) (3, 0, 0, 2)
+let cpa () = make (Mfb_bioassay.Benchmarks.cpa ()) (8, 0, 0, 2)
+let synthetic1 () = make (Mfb_bioassay.Synthetic.synthetic1 ()) (3, 3, 2, 1)
+let synthetic2 () = make (Mfb_bioassay.Synthetic.synthetic2 ()) (5, 2, 2, 2)
+let synthetic3 () = make (Mfb_bioassay.Synthetic.synthetic3 ()) (6, 4, 4, 2)
+let synthetic4 () = make (Mfb_bioassay.Synthetic.synthetic4 ()) (7, 4, 4, 3)
+
+let all () =
+  [ pcr (); ivd (); cpa (); synthetic1 (); synthetic2 (); synthetic3 ();
+    synthetic4 () ]
+
+let names =
+  [ "PCR"; "IVD"; "CPA"; "Synthetic1"; "Synthetic2"; "Synthetic3";
+    "Synthetic4" ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt
+    (fun inst ->
+      String.lowercase_ascii (Mfb_bioassay.Seq_graph.name inst.graph) = lower)
+    (all ())

@@ -1,0 +1,35 @@
+(** The seven benchmark instances of the paper's Table I. *)
+
+type instance = {
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;  (** Table I column 3 *)
+}
+
+val pcr : unit -> instance
+(** 7 ops, (3,0,0,0). *)
+
+val ivd : unit -> instance
+(** 12 ops, (3,0,0,2). *)
+
+val cpa : unit -> instance
+(** 55 ops, (8,0,0,2). *)
+
+val synthetic1 : unit -> instance
+(** 20 ops, (3,3,2,1). *)
+
+val synthetic2 : unit -> instance
+(** 30 ops, (5,2,2,2). *)
+
+val synthetic3 : unit -> instance
+(** 40 ops, (6,4,4,2). *)
+
+val synthetic4 : unit -> instance
+(** 50 ops, (7,4,4,3). *)
+
+val all : unit -> instance list
+(** In Table-I row order. *)
+
+val find : string -> instance option
+(** Case-insensitive lookup by benchmark name. *)
+
+val names : string list

@@ -1,0 +1,1 @@
+lib/place/annealer.ml: Chip Energy Mfb_util Moves

@@ -1,0 +1,1 @@
+lib/place/annealer.mli: Chip Energy Mfb_component Mfb_util

@@ -1,0 +1,1 @@
+lib/place/chip.ml: Array Float Format Mfb_component Mfb_util

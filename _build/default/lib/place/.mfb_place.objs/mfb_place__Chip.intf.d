@@ -1,0 +1,1 @@
+lib/place/chip.mli: Format Mfb_component Mfb_util

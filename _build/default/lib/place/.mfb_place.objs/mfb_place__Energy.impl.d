@@ -1,0 +1,1 @@
+lib/place/energy.ml: Array Chip List Net

@@ -1,0 +1,1 @@
+lib/place/energy.mli: Chip Net

@@ -1,0 +1,1 @@
+lib/place/force_place.ml: Annealer Array Chip Energy Float Fun List

@@ -1,0 +1,1 @@
+lib/place/force_place.mli: Chip Energy Mfb_component

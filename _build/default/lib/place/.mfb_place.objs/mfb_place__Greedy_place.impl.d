@@ -1,0 +1,1 @@
+lib/place/greedy_place.ml: Array Chip Energy Fun

@@ -1,0 +1,1 @@
+lib/place/greedy_place.mli: Chip Energy Mfb_component

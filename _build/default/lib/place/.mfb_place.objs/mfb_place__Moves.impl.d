@@ -1,0 +1,1 @@
+lib/place/moves.ml: Array Chip Fun List Mfb_util

@@ -1,0 +1,1 @@
+lib/place/moves.mli: Chip Mfb_util

@@ -1,0 +1,1 @@
+lib/place/net.ml: Float Format Hashtbl List Mfb_bioassay Mfb_schedule Option

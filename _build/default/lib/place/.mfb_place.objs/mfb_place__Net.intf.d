@@ -1,0 +1,1 @@
+lib/place/net.mli: Format Mfb_schedule

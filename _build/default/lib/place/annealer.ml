@@ -1,0 +1,71 @@
+type params = { t0 : float; t_min : float; alpha : float; i_max : int }
+
+let default_params = { t0 = 10000.; t_min = 1.0; alpha = 0.9; i_max = 150 }
+
+type result = {
+  chip : Chip.t;
+  energy : float;
+  initial_energy : float;
+  accepted : int;
+  attempted : int;
+}
+
+let validate p =
+  if p.t0 <= 0. || p.t_min <= 0. || p.t0 < p.t_min then
+    invalid_arg "Annealer.place: temperatures must satisfy 0 < t_min <= t0";
+  if p.alpha <= 0. || p.alpha >= 1. then
+    invalid_arg "Annealer.place: alpha outside (0, 1)";
+  if p.i_max < 1 then invalid_arg "Annealer.place: i_max < 1"
+
+(* Weight of the all-pairs compaction term relative to Eq. 3: small enough
+   not to distort the connection-priority objective, large enough to pull
+   weakly-connected components into the pack. *)
+let compaction_weight = 0.01
+
+let objective chip nets =
+  Energy.total chip nets +. (compaction_weight *. Energy.compaction chip)
+
+let place ?(params = default_params) ~rng ~nets components =
+  validate params;
+  let chip = Chip.random rng components in
+  let energy = ref (objective chip nets) in
+  let initial_energy = !energy in
+  let best = ref (Chip.copy chip) in
+  let best_energy = ref !energy in
+  let accepted = ref 0 and attempted = ref 0 in
+  let temperature = ref params.t0 in
+  while !temperature > params.t_min do
+    for _ = 1 to params.i_max do
+      incr attempted;
+      match Moves.random_move rng chip with
+      | None -> ()
+      | Some undo ->
+        let proposed = objective chip nets in
+        let delta = proposed -. !energy in
+        let accept =
+          delta < 0.
+          || Mfb_util.Rng.float rng 1.0 < exp (-.delta /. !temperature)
+        in
+        if accept then begin
+          incr accepted;
+          energy := proposed;
+          if proposed < !best_energy then begin
+            best_energy := proposed;
+            best := Chip.copy chip
+          end
+        end
+        else undo ()
+    done;
+    temperature := !temperature *. params.alpha
+  done;
+  (* Tiny instances can defeat the random walk; the packed scanline
+     construction is a free lower-effort candidate, so keep the better of
+     the two. *)
+  let scanline = Chip.scanline components in
+  let scanline_energy = objective scanline nets in
+  let chip, energy =
+    if scanline_energy < !best_energy then (scanline, scanline_energy)
+    else (!best, !best_energy)
+  in
+  { chip; energy; initial_energy; accepted = !accepted;
+    attempted = !attempted }

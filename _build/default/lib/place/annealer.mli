@@ -1,0 +1,44 @@
+(** Simulated-annealing placement (paper Alg. 2, lines 1-8).
+
+    Starting from a random legal placement, the annealer applies random
+    transformation operations; a perturbation is accepted when it lowers
+    the energy (Eq. 3) or with probability [exp (-delta / T)].  The
+    temperature decays geometrically from [t0] to [t_min] with rate
+    [alpha], running [i_max] perturbations per temperature step. *)
+
+type params = {
+  t0 : float;     (** initial temperature (paper: 10000) *)
+  t_min : float;  (** termination temperature (paper: 1.0) *)
+  alpha : float;  (** cooling rate in (0, 1) (paper: 0.9) *)
+  i_max : int;    (** perturbations per temperature (paper: 150) *)
+}
+
+val default_params : params
+(** The paper's parameter set. *)
+
+type result = {
+  chip : Chip.t;          (** best placement found *)
+  energy : float;         (** its {!objective} value *)
+  initial_energy : float; (** objective of the random starting placement *)
+  accepted : int;         (** accepted perturbations *)
+  attempted : int;        (** attempted perturbations *)
+}
+
+val objective : Chip.t -> Energy.weighted_net list -> float
+(** The annealing objective: Eq. 3 plus a small all-pairs compaction term
+    ([0.05 * Energy.compaction]) that packs weakly-connected components
+    (the paper argues DCSA reduces chip area). *)
+
+val place :
+  ?params:params ->
+  rng:Mfb_util.Rng.t ->
+  nets:Energy.weighted_net list ->
+  Mfb_component.Component.t array ->
+  result
+(** [place ~rng ~nets components] anneals a placement of [components]
+    minimising Eq. 3 over [nets].  The returned placement is the better
+    of the annealed best and the deterministic scanline construction (a
+    safeguard for tiny instances where the random walk may miss the
+    packed optimum).
+    @raise Invalid_argument on non-positive temperatures, [alpha]
+    outside (0, 1), or [i_max < 1]. *)

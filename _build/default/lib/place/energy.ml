@@ -1,0 +1,31 @@
+type weighted_net = { a : int; b : int; cp : float }
+
+let weigh ~beta ~gamma nets =
+  List.map
+    (fun (net : Net.t) ->
+      { a = net.a; b = net.b;
+        cp = Net.connection_priority ~beta ~gamma net })
+    nets
+
+let uniform nets =
+  List.map (fun (net : Net.t) -> { a = net.a; b = net.b; cp = 1.0 }) nets
+
+let total chip nets =
+  List.fold_left
+    (fun acc { a; b; cp } -> acc +. (Chip.manhattan chip a b *. cp))
+    0. nets
+
+let wirelength chip nets =
+  List.fold_left
+    (fun acc { a; b; cp = _ } -> acc +. Chip.manhattan chip a b)
+    0. nets
+
+let compaction chip =
+  let n = Array.length chip.Chip.components in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      total := !total +. Chip.manhattan chip i j
+    done
+  done;
+  !total

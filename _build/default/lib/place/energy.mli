@@ -1,0 +1,24 @@
+(** Placement energy (paper Eq. 3):
+    [Energy(P) = sum over nets of mdis(i, j) * cp(i, j)]. *)
+
+type weighted_net = { a : int; b : int; cp : float }
+
+val weigh : beta:float -> gamma:float -> Net.t list -> weighted_net list
+(** Precompute connection priorities so that energy evaluation inside the
+    annealing loop is a plain weighted-wirelength sum. *)
+
+val uniform : Net.t list -> weighted_net list
+(** All connection priorities forced to 1.0 — the ablation that turns
+    Eq. 3 into plain half-perimeter-style wirelength. *)
+
+val total : Chip.t -> weighted_net list -> float
+(** [total chip nets] is Eq. 3 under the current placement. *)
+
+val wirelength : Chip.t -> weighted_net list -> float
+(** Unweighted [sum mdis(i, j)] over the same nets. *)
+
+val compaction : Chip.t -> float
+(** [sum mdis(i, j)] over {e all} component pairs — a measure of how
+    spread out the placement is.  Added with a small weight to the
+    annealing objective so that components without strong nets still pack
+    tightly (the paper argues DCSA "effectively reduces chip area"). *)

@@ -1,0 +1,44 @@
+let try_swap chip i j =
+  let pi = chip.Chip.places.(i) and pj = chip.Chip.places.(j) in
+  chip.Chip.places.(i) <- { pj with rotated = pi.rotated };
+  chip.Chip.places.(j) <- { pi with rotated = pj.rotated };
+  let legal =
+    Chip.in_bounds chip i && Chip.in_bounds chip j
+    && Array.for_all Fun.id
+         (Array.mapi
+            (fun k _ ->
+              (k = i || Chip.pair_legal chip i k)
+              && (k = j || k = i || Chip.pair_legal chip j k))
+            chip.Chip.components)
+  in
+  if legal then `Swapped (pi, pj)
+  else begin
+    chip.Chip.places.(i) <- pi;
+    chip.Chip.places.(j) <- pj;
+    `Rejected
+  end
+
+let place ~nets components =
+  let chip = Chip.scanline components in
+  let n = Array.length components in
+  let cost () = Energy.wirelength chip nets in
+  let improved = ref true in
+  (* Correction loop: first-improvement pairwise swaps until a full sweep
+     finds nothing better. *)
+  while !improved do
+    improved := false;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let before = cost () in
+        match try_swap chip i j with
+        | `Rejected -> ()
+        | `Swapped (pi, pj) ->
+          if cost () < before -. 1e-9 then improved := true
+          else begin
+            chip.Chip.places.(i) <- pi;
+            chip.Chip.places.(j) <- pj
+          end
+      done
+    done
+  done;
+  chip

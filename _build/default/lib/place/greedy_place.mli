@@ -1,0 +1,15 @@
+(** Baseline placement: construction by correction.
+
+    The initial solution places components in id order along scanlines;
+    the correction pass repeatedly tries pairwise position swaps and
+    keeps any swap that reduces plain (unweighted) wirelength — it is
+    oblivious to connection priorities, transport concurrency, and wash
+    times, exactly like the paper's baseline BA. *)
+
+val place :
+  nets:Energy.weighted_net list ->
+  Mfb_component.Component.t array ->
+  Chip.t
+(** [place ~nets components] is the corrected scanline placement.  The
+    [cp] weights in [nets] are ignored (plain wirelength guides the
+    correction); only the pair structure is used. *)

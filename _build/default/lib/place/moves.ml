@@ -1,0 +1,66 @@
+module Rng = Mfb_util.Rng
+
+type undo = unit -> unit
+
+(* A move is legal when the touched components stay in bounds and respect
+   spacing against everyone else. *)
+let touched_legal chip touched =
+  List.for_all
+    (fun i ->
+      Chip.in_bounds chip i
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun j _ -> j = i || Chip.pair_legal chip i j)
+              chip.Chip.components))
+    touched
+
+let finish chip touched undo =
+  if touched_legal chip touched then Some undo
+  else begin
+    undo ();
+    None
+  end
+
+let translate rng (chip : Chip.t) =
+  let n = Array.length chip.components in
+  if n = 0 then None
+  else begin
+    let i = Rng.int rng n in
+    let old = chip.places.(i) in
+    let x = 1 + Rng.int rng (max 1 (chip.width - 2)) in
+    let y = 1 + Rng.int rng (max 1 (chip.height - 2)) in
+    chip.places.(i) <- { old with x; y };
+    finish chip [ i ] (fun () -> chip.places.(i) <- old)
+  end
+
+let rotate rng (chip : Chip.t) =
+  let n = Array.length chip.components in
+  if n = 0 then None
+  else begin
+    let i = Rng.int rng n in
+    let old = chip.places.(i) in
+    chip.places.(i) <- { old with rotated = not old.rotated };
+    finish chip [ i ] (fun () -> chip.places.(i) <- old)
+  end
+
+let swap rng (chip : Chip.t) =
+  let n = Array.length chip.components in
+  if n < 2 then None
+  else begin
+    let i = Rng.int rng n in
+    let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+    let pi = chip.places.(i) and pj = chip.places.(j) in
+    chip.places.(i) <- { pj with rotated = pi.rotated };
+    chip.places.(j) <- { pi with rotated = pj.rotated };
+    finish chip [ i; j ]
+      (fun () ->
+        chip.places.(i) <- pi;
+        chip.places.(j) <- pj)
+  end
+
+let random_move rng chip =
+  match Rng.int rng 6 with
+  | 0 | 1 | 2 -> translate rng chip
+  | 3 -> rotate rng chip
+  | 4 | 5 -> swap rng chip
+  | _ -> assert false

@@ -1,0 +1,1 @@
+lib/route/astar.ml: Array Float Hashtbl List Mfb_util Rgrid

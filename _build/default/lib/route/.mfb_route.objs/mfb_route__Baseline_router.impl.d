@@ -1,0 +1,1 @@
+lib/route/baseline_router.ml: Astar Float Io_router List Mfb_schedule Mfb_util Rgrid Routed

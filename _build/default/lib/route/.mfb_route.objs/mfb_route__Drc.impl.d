@@ -1,0 +1,1 @@
+lib/route/drc.ml: Array Format Hashtbl List Mfb_place Mfb_util Printf Rgrid Routed

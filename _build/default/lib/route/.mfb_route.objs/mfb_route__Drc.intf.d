@@ -1,0 +1,1 @@
+lib/route/drc.mli: Format Mfb_place Routed

@@ -1,0 +1,1 @@
+lib/route/hydraulics.ml: Float Format List Mfb_schedule Mfb_util Routed

@@ -1,0 +1,1 @@
+lib/route/hydraulics.mli: Format Routed

@@ -1,0 +1,1 @@
+lib/route/io_router.ml: Array Astar Float Fun List Mfb_bioassay Mfb_schedule Option Printf Rgrid Routed

@@ -1,0 +1,1 @@
+lib/route/io_router.mli: Mfb_schedule Rgrid Routed

@@ -1,0 +1,1 @@
+lib/route/negotiated_router.ml: Array Astar Float Hashtbl Io_router List Mfb_schedule Mfb_util Option Rgrid Routed

@@ -1,0 +1,1 @@
+lib/route/negotiated_router.mli: Mfb_place Mfb_schedule Routed

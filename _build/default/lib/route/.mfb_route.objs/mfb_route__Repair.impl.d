@@ -1,0 +1,1 @@
+lib/route/repair.ml: Astar Io_router List Mfb_schedule Rgrid Routed

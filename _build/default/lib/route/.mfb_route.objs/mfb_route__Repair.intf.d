@@ -1,0 +1,1 @@
+lib/route/repair.mli: Mfb_place Mfb_schedule Routed

@@ -1,0 +1,1 @@
+lib/route/rgrid.ml: Array Float Hashtbl List Mfb_bioassay Mfb_place Mfb_util Printf

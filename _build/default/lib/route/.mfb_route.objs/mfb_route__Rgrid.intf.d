@@ -1,0 +1,1 @@
+lib/route/rgrid.mli: Mfb_bioassay Mfb_place Mfb_util

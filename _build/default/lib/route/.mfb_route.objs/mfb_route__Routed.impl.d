@@ -1,0 +1,1 @@
+lib/route/routed.ml: Float List Mfb_bioassay Mfb_schedule Mfb_util Rgrid

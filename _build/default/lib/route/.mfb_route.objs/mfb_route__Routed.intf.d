@@ -1,0 +1,1 @@
+lib/route/routed.mli: Mfb_schedule Mfb_util Rgrid

@@ -1,0 +1,1 @@
+lib/route/router.ml: Astar Float Io_router List Mfb_schedule Mfb_util Rgrid Routed

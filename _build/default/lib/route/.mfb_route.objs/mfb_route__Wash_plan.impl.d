@@ -1,0 +1,1 @@
+lib/route/wash_plan.ml: Astar List Mfb_bioassay Mfb_util Rgrid Routed

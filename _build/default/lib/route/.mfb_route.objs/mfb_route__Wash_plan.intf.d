@@ -1,0 +1,1 @@
+lib/route/wash_plan.mli: Mfb_util Routed

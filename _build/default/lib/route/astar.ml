@@ -1,0 +1,72 @@
+let step_cost grid ~use_weights xy =
+  1. +. (if use_weights then Rgrid.weight grid xy else 0.)
+
+let path_cost grid ~use_weights path =
+  List.fold_left (fun acc xy -> acc +. step_cost grid ~use_weights xy) 0. path
+
+let manhattan (x1, y1) (x2, y2) =
+  float_of_int (abs (x1 - x2) + abs (y1 - y2))
+
+let search_multi ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts ~usable
+    ~use_weights =
+  let srcs = List.filter usable srcs and dsts = List.filter usable dsts in
+  if srcs = [] || dsts = [] then None
+  else begin
+    let step_cost grid ~use_weights xy =
+      step_cost grid ~use_weights xy +. extra_cost xy
+    in
+    let w = Rgrid.width grid and h = Rgrid.height grid in
+    let idx (x, y) = (y * w) + x in
+    let is_goal =
+      let goals = Hashtbl.create 4 in
+      List.iter (fun xy -> Hashtbl.replace goals xy ()) dsts;
+      fun xy -> Hashtbl.mem goals xy
+    in
+    let heuristic xy =
+      List.fold_left (fun acc d -> Float.min acc (manhattan xy d)) infinity
+        dsts
+    in
+    let g_cost = Array.make (w * h) infinity in
+    let parent = Array.make (w * h) None in
+    let closed = Array.make (w * h) false in
+    let open_queue = Mfb_util.Pqueue.create ~cmp:Float.compare in
+    List.iter
+      (fun src ->
+        let c = step_cost grid ~use_weights src in
+        if c < g_cost.(idx src) then begin
+          g_cost.(idx src) <- c;
+          Mfb_util.Pqueue.push open_queue (c +. heuristic src) src
+        end)
+      srcs;
+    let rec reconstruct xy acc =
+      match parent.(idx xy) with
+      | None -> xy :: acc
+      | Some prev -> reconstruct prev (xy :: acc)
+    in
+    let rec loop () =
+      match Mfb_util.Pqueue.pop open_queue with
+      | None -> None
+      | Some (_, xy) ->
+        if is_goal xy then Some (reconstruct xy [])
+        else if closed.(idx xy) then loop ()
+        else begin
+          closed.(idx xy) <- true;
+          let expand n =
+            if (not closed.(idx n)) && usable n then begin
+              let tentative = g_cost.(idx xy) +. step_cost grid ~use_weights n in
+              if tentative < g_cost.(idx n) -. 1e-12 then begin
+                g_cost.(idx n) <- tentative;
+                parent.(idx n) <- Some xy;
+                Mfb_util.Pqueue.push open_queue (tentative +. heuristic n) n
+              end
+            end
+          in
+          List.iter expand (Rgrid.neighbours grid xy);
+          loop ()
+        end
+    in
+    loop ()
+  end
+
+let search grid ~src ~dst ~usable ~use_weights =
+  search_multi grid ~srcs:[ src ] ~dsts:[ dst ] ~usable ~use_weights

@@ -1,0 +1,34 @@
+(** A* path search on the routing grid (paper Eq. 5).
+
+    The cost of entering a cell is [1 + w(cell)] when weights are enabled
+    ([1] otherwise); cells for which [usable] is false are treated as
+    infinite-cost (the conflict case of Eq. 5).  The heuristic is the
+    Manhattan distance to the nearest target, which is admissible because
+    every step costs at least 1. *)
+
+val search_multi :
+  ?extra_cost:(int * int -> float) ->
+  Rgrid.t ->
+  srcs:(int * int) list ->
+  dsts:(int * int) list ->
+  usable:(int * int -> bool) ->
+  use_weights:bool ->
+  (int * int) list option
+(** [search_multi grid ~srcs ~dsts ~usable ~use_weights] is a
+    minimum-cost path from some usable source to some usable target,
+    inclusive of both endpoints; [None] when unreachable.  [extra_cost]
+    (default 0) adds a non-negative per-cell surcharge — the
+    congestion/history term of negotiated routing. *)
+
+val search :
+  Rgrid.t ->
+  src:int * int ->
+  dst:int * int ->
+  usable:(int * int -> bool) ->
+  use_weights:bool ->
+  (int * int) list option
+(** Single source and target version of {!search_multi}. *)
+
+val path_cost : Rgrid.t -> use_weights:bool -> (int * int) list -> float
+(** Cost of a path under the same cost model (entering every cell
+    including the first). *)

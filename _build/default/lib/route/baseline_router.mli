@@ -1,0 +1,22 @@
+(** Baseline routing: construction by correction (paper §V).
+
+    Construction: every task gets the plain shortest obstacle-avoiding
+    path, oblivious to time-slot conflicts, cell weights, and wash times.
+    Correction: tasks are revisited in start order; a task whose path
+    conflicts with already-committed occupations is first re-routed with a
+    conflict-aware (but still unweighted) search, and postponed along its
+    original path when no alternative exists.  Postponements surface as
+    per-edge delays that the caller feeds to {!Mfb_schedule.Retime},
+    inflating the baseline's execution time exactly like the shared
+    channel segment of the paper's Fig. 4(a). *)
+
+val route :
+  ?route_io:bool ->
+  we:float ->
+  tc:float ->
+  Mfb_place.Chip.t ->
+  Mfb_schedule.Types.t ->
+  Routed.result
+(** [route ~we ~tc chip sched]; [we] only initialises cell weights (the
+    baseline never reads them).
+    @raise Invalid_argument if [we < 0] or [tc <= 0]. *)

@@ -1,0 +1,175 @@
+module Types = Mfb_schedule.Types
+module Seq_graph = Mfb_bioassay.Seq_graph
+
+let input_fluid op =
+  Mfb_bioassay.Fluid.make
+    ~name:(Printf.sprintf "input-o%d" op)
+    ~diffusion:(Mfb_bioassay.Fluid.of_palette op).diffusion
+
+let templates ~tc (sched : Types.t) =
+  let g = sched.graph in
+  let of_op op =
+    let times = sched.times.(op) in
+    let dispense =
+      if Seq_graph.parents g op = [] then
+        [ ( { Types.edge = (op, op); src = times.component;
+              dst = times.component; removal = times.start -. tc;
+              depart = times.start -. tc; arrive = times.start;
+              fluid = input_fluid op },
+            Routed.Dispense ) ]
+      else []
+    in
+    let waste =
+      if Seq_graph.children g op = [] then
+        [ ( { Types.edge = (op, op); src = times.component;
+              dst = times.component; removal = times.finish;
+              depart = times.finish; arrive = times.finish +. tc;
+              fluid = (Seq_graph.op g op).output },
+            Routed.Waste ) ]
+      else []
+    in
+    dispense @ waste
+  in
+  List.concat_map of_op (List.init (Seq_graph.n_ops g) Fun.id)
+  |> List.sort (fun ((a : Types.transport), _) (b, _) ->
+         Float.compare a.removal b.removal)
+
+let border_cells grid =
+  let w = Rgrid.width grid and h = Rgrid.height grid in
+  let top = List.init w (fun x -> (x, 0)) in
+  let bottom = List.init w (fun x -> (x, h - 1)) in
+  let left = List.init h (fun y -> (0, y)) in
+  let right = List.init h (fun y -> (w - 1, y)) in
+  List.filter (fun xy -> not (Rgrid.blocked grid xy))
+    (top @ bottom @ left @ right)
+
+(* Slack lets an io run avoid busy windows without touching the schedule:
+   a dispense may leave its reservoir early and stage in the channel; a
+   waste run may stay in its component while the component is not needed
+   (up to [deadline]), then park just outside and drain later. *)
+let slacks = [ 0.; 0.5; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
+
+let with_slack kind ~deadline (tr : Types.transport) slack =
+  match (kind : Routed.kind) with
+  | Dispense -> { tr with removal = tr.removal -. slack }
+  | Waste ->
+    let removal = Float.min (tr.removal +. slack) deadline in
+    { tr with removal;
+      depart = tr.depart +. slack;
+      arrive = tr.arrive +. slack }
+  | Transport -> tr
+
+(* The latest moment a sink's product may still sit inside its component:
+   just early enough for the residue wash before the next operation
+   there; unbounded when the component is done for the day. *)
+let waste_deadline (sched : Types.t) op =
+  let times = sched.times.(op) in
+  let wash =
+    Mfb_bioassay.Operation.wash_time (Seq_graph.op sched.graph op)
+  in
+  let next_start =
+    List.fold_left
+      (fun acc (_, (t : Types.op_times)) ->
+        if t.start >= times.finish -. 1e-9 && t.start < acc then t.start
+        else acc)
+      infinity
+      (List.filter
+         (fun (other, _) -> other <> op)
+         (Types.ops_on_component sched times.component))
+  in
+  Float.max times.finish (next_start -. wash)
+
+let route_one ?(weight_update = true) grid ~tc ~deadline
+    (tr : Types.transport) kind =
+  let component_ports = Rgrid.ports grid tr.src in
+  let border = border_cells grid in
+  let srcs, dsts =
+    match (kind : Routed.kind) with
+    | Dispense -> (border, component_ports)
+    | Waste | Transport -> (component_ports, border)
+  in
+  let usable_for (tr' : Types.transport) xy =
+    match (kind : Routed.kind) with
+    | Waste | Transport ->
+      (* Source-side parking matches the occupancy model exactly. *)
+      Routed.usable grid ~tc tr' ~delay:0. ~src_ports:component_ports xy
+    | Dispense ->
+      (* The staging cell sits near the (path-dependent) inlet, so require
+         the conservative full window everywhere. *)
+      List.for_all
+        (fun iv -> Rgrid.conflict_free grid xy iv tr'.fluid)
+        (Routed.windows ~tc tr' ~delay:0. ~near_src:true)
+  in
+  let attempt slack =
+    let tr' = with_slack kind ~deadline tr slack in
+    match
+      Astar.search_multi grid ~srcs ~dsts ~usable:(usable_for tr')
+        ~use_weights:weight_update
+    with
+    | Some path -> Some (tr', 0., path)
+    | None -> None
+  in
+  (* When a dispense is boxed in during its window, arriving late is legal
+     — it simply pushes the operation's start; the caller feeds the delay
+     back through retiming. *)
+  let attempt_late delay =
+    match (kind : Routed.kind) with
+    | Waste | Transport -> None
+    | Dispense ->
+      let usable xy =
+        List.for_all
+          (fun iv -> Rgrid.conflict_free grid xy iv tr.fluid)
+          (Routed.windows ~tc tr ~delay ~near_src:true)
+      in
+      (match
+         Astar.search_multi grid ~srcs ~dsts ~usable
+           ~use_weights:weight_update
+       with
+       | Some path -> Some (tr, delay, path)
+       | None -> None)
+  in
+  let routed =
+    match List.find_map attempt slacks with
+    | Some _ as r -> r
+    | None ->
+      List.find_map attempt_late (List.filter (fun d -> d > 0.) slacks)
+  in
+  let routed, best_effort =
+    match routed with
+    | Some r -> (Some r, false)
+    | None ->
+      (* Best effort: tolerate the residual conflict rather than perturb
+         the schedule (rare; reported through [unresolved]). *)
+      let unblocked xy = not (Rgrid.blocked grid xy) in
+      ( Option.map
+          (fun path -> (tr, 0., path))
+          (Astar.search_multi grid ~srcs ~dsts ~usable:unblocked
+             ~use_weights:false),
+        true )
+  in
+  match routed with
+  | None -> None (* landlocked component: cannot happen on Chip layouts *)
+  | Some (tr', delay, path) ->
+    let task =
+      { Routed.transport = tr'; kind; path; delay; pre_wash = 0.;
+        washed_cells = 0 }
+    in
+    let pre_wash, washed_cells = Routed.measure_wash grid ~tc task in
+    let task = { task with pre_wash; washed_cells } in
+    Routed.commit ~weight_update grid ~tc task;
+    Some (task, best_effort)
+
+let route_all ?(weight_update = true) grid ~tc (sched : Types.t) =
+  let routed =
+    List.filter_map
+      (fun ((tr : Types.transport), kind) ->
+        let deadline =
+          match (kind : Routed.kind) with
+          | Waste -> waste_deadline sched (fst tr.edge)
+          | Dispense | Transport -> tr.removal
+        in
+        route_one ~weight_update grid ~tc ~deadline tr kind)
+      (templates ~tc sched)
+  in
+  ( List.map fst routed,
+    List.length (List.filter (fun (_, be) -> be) routed) )

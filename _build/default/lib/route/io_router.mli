@@ -1,0 +1,37 @@
+(** Inlet dispensing and waste routing.
+
+    Source operations consume fluids dispensed from reservoirs at the chip
+    border, and final products drain to border outlets.  This pass adds
+    those runs to an already-routed design so channel-length and wash
+    accounting include them (the paper's totals do: its PCR design has
+    420 mm of channel for six internal edges).
+
+    Input fluids of a source operation are modelled as one buffer per
+    operation (named ["input-oN"], diffusion drawn from the palette);
+    the waste run carries the sink's output fluid. *)
+
+val border_cells : Rgrid.t -> (int * int) list
+(** Unblocked cells on the chip edge — reservoir/outlet attachment
+    points. *)
+
+val templates :
+  tc:float ->
+  Mfb_schedule.Types.t ->
+  (Mfb_schedule.Types.transport * Routed.kind) list
+(** Pseudo-transports for every source (window [\[start - tc, start))) and
+    sink operation (window [\[finish, finish + tc))), ordered by window
+    start. *)
+
+val route_all :
+  ?weight_update:bool ->
+  Rgrid.t ->
+  tc:float ->
+  Mfb_schedule.Types.t ->
+  Routed.task list * int
+(** [route_all grid ~tc sched] routes every template on [grid] —
+    conflict-aware with staging slack where possible; a dispense that is
+    boxed in during its window arrives late instead, carrying a positive
+    [delay] for the caller to retime; only when even that fails is the
+    run committed best-effort — and commits the occupations.  Returns the
+    routed tasks in order together with the number of best-effort
+    (possibly conflicting) commits. *)

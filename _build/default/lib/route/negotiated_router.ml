@@ -1,0 +1,136 @@
+module Interval = Mfb_util.Interval
+module Types = Mfb_schedule.Types
+
+let present_penalty = 4.
+let history_increment = 2.
+
+let sorted_transports (sched : Types.t) =
+  List.sort
+    (fun (a : Types.transport) b ->
+      let c = Float.compare a.removal b.removal in
+      if c <> 0 then c else Float.compare a.depart b.depart)
+    sched.transports
+
+(* The conservative per-cell windows a task would occupy on any path
+   (ignoring the near-source refinement, which depends on the path). *)
+let task_window (tr : Types.transport) =
+  Interval.make tr.removal tr.arrive
+
+let route ?(max_iterations = 8) ?(weight_update = true) ?(route_io = false)
+    ~we ~tc chip (sched : Types.t) =
+  if tc <= 0. then
+    invalid_arg "Negotiated_router.route: tc must be positive";
+  let scratch () = Rgrid.create ~we chip in
+  let transports = sorted_transports sched in
+  let n = List.length transports in
+  let history = Hashtbl.create 64 in
+  let history_of xy = Option.value ~default:0. (Hashtbl.find_opt history xy) in
+  let bump xy =
+    Hashtbl.replace history xy (history_of xy +. history_increment)
+  in
+  (* One negotiation iteration: route everyone against the paths already
+     chosen this round; return the paths and the set of contested cells. *)
+  let iteration () =
+    let grid = scratch () in
+    (* occupancy chosen so far this round: cell -> (interval, task idx). *)
+    let claimed : ((int * int), (Interval.t * int) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let paths = Array.make n [] in
+    List.iteri
+      (fun i (tr : Types.transport) ->
+        let window = task_window tr in
+        let srcs = Rgrid.ports grid tr.src and dsts = Rgrid.ports grid tr.dst in
+        let sharing xy =
+          match Hashtbl.find_opt claimed xy with
+          | None -> 0
+          | Some claims ->
+            List.length
+              (List.filter
+                 (fun (iv, owner) ->
+                   owner <> i && Interval.overlaps iv window)
+                 claims)
+        in
+        let extra_cost xy =
+          history_of xy
+          +. (present_penalty *. float_of_int (sharing xy))
+        in
+        let usable xy = not (Rgrid.blocked grid xy) in
+        let path =
+          match
+            Astar.search_multi ~extra_cost grid ~srcs ~dsts ~usable
+              ~use_weights:true
+          with
+          | Some p -> p
+          | None -> [ List.hd srcs; List.hd dsts ]
+        in
+        paths.(i) <- path;
+        List.iter
+          (fun xy ->
+            let prior = Option.value ~default:[] (Hashtbl.find_opt claimed xy) in
+            Hashtbl.replace claimed xy ((window, i) :: prior))
+          path)
+      transports;
+    let contested =
+      Hashtbl.fold
+        (fun xy claims acc ->
+          let overlapping =
+            List.exists
+              (fun (iv, owner) ->
+                List.exists
+                  (fun (iv', owner') ->
+                    owner <> owner' && Interval.overlaps iv iv')
+                  claims)
+              claims
+          in
+          if overlapping then xy :: acc else acc)
+        claimed []
+    in
+    (paths, contested)
+  in
+  let rec negotiate k =
+    let paths, contested = iteration () in
+    if contested = [] || k <= 1 then paths
+    else begin
+      List.iter bump contested;
+      negotiate (k - 1)
+    end
+  in
+  let paths = negotiate max_iterations in
+  (* Commit in start order on a fresh grid; time conflicts that survived
+     negotiation become postponements (as in the sequential router). *)
+  let grid = scratch () in
+  let tasks, unresolved =
+    List.fold_left
+      (fun (tasks, unresolved) (i, (tr : Types.transport)) ->
+        let path = paths.(i) in
+        let srcs = Rgrid.ports grid tr.src in
+        let conflict_free =
+          List.for_all
+            (Routed.usable grid ~tc tr ~delay:0. ~src_ports:srcs)
+            path
+        in
+        let delay, failed =
+          if conflict_free then (0., false)
+          else
+            match Routed.settle_delay grid ~tc tr ~src_ports:srcs path with
+            | Some d -> (d, false)
+            | None -> (0., true)
+        in
+        let task =
+          { Routed.transport = tr; kind = Routed.Transport; path; delay;
+            pre_wash = 0.; washed_cells = 0 }
+        in
+        let pre_wash, washed_cells = Routed.measure_wash grid ~tc task in
+        let task = { task with pre_wash; washed_cells } in
+        Routed.commit ~weight_update grid ~tc task;
+        (task :: tasks, if failed then unresolved + 1 else unresolved))
+      ([], 0)
+      (List.mapi (fun i tr -> (i, tr)) transports)
+  in
+  let io, io_unresolved =
+    if route_io then Io_router.route_all ~weight_update grid ~tc sched
+    else ([], 0)
+  in
+  Routed.finalize grid (List.rev_append io tasks)
+    ~unresolved:(unresolved + io_unresolved)

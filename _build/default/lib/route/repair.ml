@@ -1,0 +1,80 @@
+module Types = Mfb_schedule.Types
+
+type outcome = {
+  defect : int * int;
+  affected : int;
+  repaired : int;
+  survived : bool;
+}
+
+let inject ~we ~tc chip (sched : Types.t) (routing : Routed.result) ~defect =
+  let probe = Rgrid.create ~we chip in
+  if Rgrid.blocked probe defect then
+    invalid_arg "Repair.inject: defect lies on a component footprint";
+  let grid = Rgrid.create ~we chip in
+  let healthy, affected =
+    List.partition
+      (fun (task : Routed.task) -> not (List.mem defect task.path))
+      routing.tasks
+  in
+  (* Healthy tasks keep their paths; their occupations constrain the
+     repair. *)
+  List.iter (fun task -> Routed.commit grid ~tc task) healthy;
+  ignore sched;
+  let repaired =
+    List.filter
+      (fun (task : Routed.task) ->
+        let tr = task.transport in
+        let srcs, dsts =
+          match task.kind with
+          | Routed.Transport ->
+            (Rgrid.ports grid tr.src, Rgrid.ports grid tr.dst)
+          | Routed.Dispense ->
+            (Io_router.border_cells grid, Rgrid.ports grid tr.dst)
+          | Routed.Waste ->
+            (Rgrid.ports grid tr.src, Io_router.border_cells grid)
+        in
+        let usable xy =
+          xy <> defect
+          && Routed.usable grid ~tc tr ~delay:task.delay
+               ~src_ports:(Rgrid.ports grid tr.src) xy
+        in
+        match
+          Astar.search_multi grid ~srcs ~dsts ~usable ~use_weights:true
+        with
+        | Some path ->
+          Routed.commit grid ~tc { task with path };
+          true
+        | None -> false)
+      affected
+  in
+  {
+    defect;
+    affected = List.length affected;
+    repaired = List.length repaired;
+    survived = List.length repaired = List.length affected;
+  }
+
+type yield_report = {
+  cells_tested : int;
+  survived : int;
+  yield : float;
+  worst : outcome option;
+}
+
+let single_defect_yield ~we ~tc chip sched (routing : Routed.result) =
+  let cells = Rgrid.used_cells routing.grid in
+  let outcomes =
+    List.map (fun defect -> inject ~we ~tc chip sched routing ~defect) cells
+  in
+  let survived =
+    List.length (List.filter (fun (o : outcome) -> o.survived) outcomes)
+  in
+  {
+    cells_tested = List.length cells;
+    survived;
+    yield =
+      (if cells = [] then 1.0
+       else float_of_int survived /. float_of_int (List.length cells));
+    worst = List.find_opt (fun (o : outcome) -> not o.survived) outcomes;
+  }

@@ -1,0 +1,50 @@
+(** Defect repair: re-routing around fabrication faults.
+
+    A blocked channel cell (debris, collapsed membrane, bonding defect)
+    kills every transport routed through it.  This module measures how
+    repairable a finished design is: given a defective cell, the affected
+    tasks are ripped up and re-routed on the remaining grid under the same
+    conflict rules (existing healthy tasks keep their paths and
+    occupations).
+
+    The single-defect yield — the fraction of channel cells whose failure
+    the design survives without touching the schedule — is a standard
+    robustness figure for microfluidic layouts. *)
+
+type outcome = {
+  defect : int * int;
+  affected : int;          (** tasks whose path crossed the defect *)
+  repaired : int;          (** of those, re-routed without postponement *)
+  survived : bool;         (** all affected tasks repaired *)
+}
+
+val inject :
+  we:float ->
+  tc:float ->
+  Mfb_place.Chip.t ->
+  Mfb_schedule.Types.t ->
+  Routed.result ->
+  defect:int * int ->
+  outcome
+(** [inject ~we ~tc chip sched routing ~defect] rebuilds the design with
+    [defect] unusable and every healthy task's occupation re-committed,
+    then re-routes the affected tasks conflict-aware (original windows,
+    no extra delay allowed).
+    @raise Invalid_argument when the defect cell lies on a component
+    footprint (that is a component fault, not a channel fault). *)
+
+type yield_report = {
+  cells_tested : int;     (** channel cells of the design *)
+  survived : int;
+  yield : float;          (** [survived / cells_tested]; 1.0 for empty *)
+  worst : outcome option; (** a failing defect, when any exists *)
+}
+
+val single_defect_yield :
+  we:float ->
+  tc:float ->
+  Mfb_place.Chip.t ->
+  Mfb_schedule.Types.t ->
+  Routed.result ->
+  yield_report
+(** Try every used channel cell as the defect. *)

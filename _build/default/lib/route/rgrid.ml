@@ -1,0 +1,182 @@
+module Interval = Mfb_util.Interval
+module Fluid = Mfb_bioassay.Fluid
+
+type occupation = { interval : Interval.t; fluid : Fluid.t }
+
+type cell = {
+  mutable weight : float;
+  mutable occs : occupation list; (* sorted by interval start *)
+  blocked : bool;
+}
+
+type t = {
+  grid_width : int;
+  grid_height : int;
+  cells : cell array;
+  ports : (int * int) list array; (* per component id, non-empty *)
+}
+
+let idx g (x, y) = (y * g.grid_width) + x
+
+let in_bounds g (x, y) =
+  x >= 0 && y >= 0 && x < g.grid_width && y < g.grid_height
+
+let cell_exn g xy =
+  if not (in_bounds g xy) then
+    invalid_arg
+      (Printf.sprintf "Rgrid: cell (%d, %d) out of bounds" (fst xy) (snd xy));
+  g.cells.(idx g xy)
+
+(* Perimeter cells of a rectangle, grouped per side; each side lists its
+   middle cell first so ports prefer centred attachment points. *)
+let perimeter_sides (x, y, w, h) =
+  let centred cells =
+    let n = List.length cells in
+    let mid = (n - 1) / 2 in
+    List.mapi (fun i c -> (abs (i - mid), c)) cells
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let top = List.init w (fun i -> (x + i, y - 1)) in
+  let right = List.init h (fun i -> (x + w, y + i)) in
+  let bottom = List.init w (fun i -> (x + i, y + h)) in
+  let left = List.init h (fun i -> (x - 1, y + i)) in
+  List.map centred [ top; right; bottom; left ]
+
+let create ~we (chip : Mfb_place.Chip.t) =
+  if we < 0. then invalid_arg "Rgrid.create: negative w_e";
+  let blocked_tbl = Hashtbl.create 64 in
+  List.iter (fun xy -> Hashtbl.replace blocked_tbl xy ())
+    (Mfb_place.Chip.blocked_cells chip);
+  let cells =
+    Array.init (chip.width * chip.height) (fun i ->
+        let xy = (i mod chip.width, i / chip.width) in
+        { weight = we; occs = []; blocked = Hashtbl.mem blocked_tbl xy })
+  in
+  let g =
+    { grid_width = chip.width; grid_height = chip.height; cells;
+      ports = Array.make (Array.length chip.components) [] }
+  in
+  Array.iteri
+    (fun i _ ->
+      let rect = Mfb_place.Chip.footprint chip i in
+      let free xy = in_bounds g xy && not (cell_exn g xy).blocked in
+      let side_ports =
+        List.filter_map
+          (fun side -> List.find_opt free side)
+          (perimeter_sides rect)
+      in
+      if side_ports = [] then
+        invalid_arg
+          (Printf.sprintf "Rgrid.create: component %d has no free port" i);
+      g.ports.(i) <- side_ports)
+    chip.components;
+  g
+
+let width g = g.grid_width
+let height g = g.grid_height
+
+let blocked g xy = (cell_exn g xy).blocked
+
+let weight g xy = (cell_exn g xy).weight
+
+let set_weight g xy w = (cell_exn g xy).weight <- w
+
+let occupations g xy = (cell_exn g xy).occs
+
+let add_occupation g xy occ =
+  let cell = cell_exn g xy in
+  let rec insert = function
+    | [] -> [ occ ]
+    | o :: rest as all ->
+      if Interval.compare occ.interval o.interval <= 0 then occ :: all
+      else o :: insert rest
+  in
+  cell.occs <- insert cell.occs
+
+let ports g c =
+  if c < 0 || c >= Array.length g.ports then
+    invalid_arg (Printf.sprintf "Rgrid.ports: unknown component %d" c);
+  g.ports.(c)
+
+let port g c =
+  match ports g c with
+  | xy :: _ -> xy
+  | [] -> assert false (* non-emptiness enforced at creation *)
+
+(* Wash separation needed between a prior occupation and a fluid entering
+   at the start of [iv]: none when the fluids are identical. *)
+let wash_between prior fluid =
+  if Fluid.equal prior.fluid fluid then 0. else Fluid.wash_time prior.fluid
+
+let conflict_free g xy iv fluid =
+  let cell = cell_exn g xy in
+  (not cell.blocked)
+  && List.for_all
+       (fun o ->
+         if Interval.overlaps o.interval iv then false
+         else if Interval.hi o.interval <= Interval.lo iv then
+           Interval.lo iv +. 1e-9
+           >= Interval.hi o.interval +. wash_between o fluid
+         else true)
+       cell.occs
+
+let required_delay g xy iv fluid =
+  let cell = cell_exn g xy in
+  if cell.blocked then infinity
+  else begin
+    let rec settle delay fuel =
+      if fuel = 0 then delay
+      else begin
+        let shifted = Interval.shift iv delay in
+        let worst =
+          List.fold_left
+            (fun acc o ->
+              let needed =
+                if Interval.overlaps o.interval shifted
+                   || (Interval.hi o.interval <= Interval.lo shifted
+                      && Interval.lo shifted +. 1e-9
+                         < Interval.hi o.interval +. wash_between o fluid)
+                then
+                  Interval.hi o.interval +. wash_between o fluid
+                  -. Interval.lo shifted
+                else 0.
+              in
+              Float.max acc needed)
+            0. cell.occs
+        in
+        if worst <= 1e-9 then delay else settle (delay +. worst) (fuel - 1)
+      end
+    in
+    settle 0. (List.length cell.occs + 2)
+  end
+
+let wash_debt g xy ~at fluid =
+  let cell = cell_exn g xy in
+  let latest_prior =
+    List.fold_left
+      (fun acc o ->
+        if Interval.hi o.interval <= at +. 1e-9 then
+          match acc with
+          | Some best
+            when Interval.hi best.interval >= Interval.hi o.interval ->
+            acc
+          | Some _ | None -> Some o
+        else acc)
+      None cell.occs
+  in
+  match latest_prior with
+  | Some o -> wash_between o fluid
+  | None -> 0.
+
+let neighbours g (x, y) =
+  List.filter (in_bounds g) [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ]
+
+let used_cells g =
+  let acc = ref [] in
+  Array.iteri
+    (fun i cell ->
+      if cell.occs <> [] then
+        acc := (i mod g.grid_width, i / g.grid_width) :: !acc)
+    g.cells;
+  !acc

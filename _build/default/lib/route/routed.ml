@@ -1,0 +1,125 @@
+module Interval = Mfb_util.Interval
+module Types = Mfb_schedule.Types
+
+let pitch_mm = 10.
+
+type kind = Transport | Dispense | Waste
+
+type task = {
+  transport : Types.transport;
+  kind : kind;
+  path : (int * int) list;
+  delay : float;
+  pre_wash : float;
+  washed_cells : int;
+}
+
+type result = {
+  tasks : task list;
+  grid : Rgrid.t;
+  total_channel_length_mm : float;
+  total_channel_wash : float;
+  total_delay : float;
+  unresolved : int;
+}
+
+let occupancy ~tc task =
+  let tr = task.transport in
+  let removal = tr.removal +. task.delay in
+  let depart = tr.depart +. task.delay in
+  let arrive = tr.arrive +. task.delay in
+  let cache = depart -. removal in
+  let n = List.length task.path in
+  if cache <= 1e-9 || n <= 2 then
+    List.map (fun xy -> (xy, Interval.make removal arrive)) task.path
+  else begin
+    (* The evicted fluid is pushed through the source port into the
+       adjacent channel cell, parks there until [depart], then sweeps to
+       the destination.  Parking at the source side keeps the contended
+       destination ports free until the actual arrival window. *)
+    let indexed = List.mapi (fun i xy -> (i, xy)) task.path in
+    List.map
+      (fun (i, xy) ->
+        let iv =
+          if i = 0 then Interval.make removal (Float.min (removal +. tc) arrive)
+          else if i = 1 then Interval.make removal arrive
+          else Interval.make depart arrive
+        in
+        (xy, iv))
+      indexed
+  end
+
+let measure_wash grid ~tc task =
+  List.fold_left
+    (fun (worst, count) (xy, iv) ->
+      let debt = Rgrid.wash_debt grid xy ~at:(Interval.lo iv) task.transport.fluid in
+      ((if debt > worst then debt else worst),
+       if debt > 0. then count + 1 else count))
+    (0., 0)
+    (occupancy ~tc task)
+
+let commit ?(weight_update = true) grid ~tc task =
+  List.iter
+    (fun (xy, interval) ->
+      Rgrid.add_occupation grid xy
+        { Rgrid.interval; fluid = task.transport.fluid })
+    (occupancy ~tc task);
+  if weight_update then begin
+    let residue_wash = Mfb_bioassay.Fluid.wash_time task.transport.fluid in
+    List.iter (fun xy -> Rgrid.set_weight grid xy residue_wash) task.path
+  end
+
+let windows ~tc (tr : Types.transport) ~delay ~near_src =
+  ignore tc;
+  let removal = tr.removal +. delay in
+  let depart = tr.depart +. delay in
+  let arrive = tr.arrive +. delay in
+  (* Only the port and parking cells — both within distance 1 of a source
+     port — hold the fluid during the cache; every cell further out sees
+     just the final sweep (matching {!occupancy}). *)
+  if near_src || depart -. removal <= 1e-9 then
+    [ Interval.make removal arrive ]
+  else [ Interval.make depart arrive ]
+
+let near_any ports (x1, y1) =
+  List.exists (fun (x2, y2) -> abs (x1 - x2) + abs (y1 - y2) <= 1) ports
+
+let usable grid ~tc tr ~delay ~src_ports xy =
+  List.for_all
+    (fun iv -> Rgrid.conflict_free grid xy iv tr.Types.fluid)
+    (windows ~tc tr ~delay ~near_src:(near_any src_ports xy))
+
+let settle_delay grid ~tc (tr : Types.transport) ~src_ports path =
+  let fuel = (8 * List.length path) + 8 in
+  let cell_delay delay xy =
+    List.fold_left
+      (fun acc iv ->
+        Float.max acc (Rgrid.required_delay grid xy iv tr.fluid))
+      0.
+      (windows ~tc tr ~delay ~near_src:(near_any src_ports xy))
+  in
+  let rec loop delay fuel =
+    if fuel = 0 then None
+    else begin
+      let worst =
+        List.fold_left (fun acc xy -> Float.max acc (cell_delay delay xy))
+          0. path
+      in
+      if worst = infinity then None
+      else if worst <= 1e-9 then Some delay
+      else loop (delay +. worst) (fuel - 1)
+    end
+  in
+  loop 0. fuel
+
+let finalize grid tasks ~unresolved =
+  let distinct = List.length (Rgrid.used_cells grid) in
+  {
+    tasks = List.rev tasks;
+    grid;
+    total_channel_length_mm = float_of_int distinct *. pitch_mm;
+    total_channel_wash =
+      List.fold_left (fun acc t -> acc +. t.pre_wash) 0. tasks;
+    total_delay = List.fold_left (fun acc t -> acc +. t.delay) 0. tasks;
+    unresolved;
+  }

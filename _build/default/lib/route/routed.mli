@@ -1,0 +1,85 @@
+(** Shared result types and commit helpers for the two routing flows. *)
+
+val pitch_mm : float
+(** Physical length of one grid-cell channel segment (10 mm). *)
+
+type kind =
+  | Transport  (** a scheduled component-to-component transport *)
+  | Dispense   (** input fluid from a chip-border inlet to a component *)
+  | Waste      (** final product from a component to a border outlet *)
+
+type task = {
+  transport : Mfb_schedule.Types.transport;
+      (** for [Dispense]/[Waste] this is a pseudo-transport describing the
+          window and fluid; its [src]/[dst] both name the component *)
+  kind : kind;
+  path : (int * int) list;  (** endpoint-to-endpoint, inclusive; never empty *)
+  delay : float;            (** postponement applied to the transport *)
+  pre_wash : float;
+      (** buffer-flush time needed before this task: the largest
+          different-fluid residue wash along its path (Fig. 9 quantity) *)
+  washed_cells : int;       (** cells of the path that needed washing *)
+}
+
+type result = {
+  tasks : task list;                (** in routing order *)
+  grid : Rgrid.t;                   (** final grid state *)
+  total_channel_length_mm : float;  (** distinct used cells x pitch *)
+  total_channel_wash : float;       (** sum of [pre_wash] *)
+  total_delay : float;              (** sum of postponements *)
+  unresolved : int;                 (** tasks left with conflicts *)
+}
+
+val occupancy :
+  tc:float -> task -> ((int * int) * Mfb_util.Interval.t) list
+(** Cell-level occupation of a routed task.  Without channel caching every
+    path cell is occupied over the whole (shifted) transport window; with
+    caching the fluid parks in the channel cell adjacent to the source
+    port (paper §II-A: fluids are cached close to components — the evicted
+    fluid is pushed just outside its producing component), so downstream
+    cells are only held for the final [tc]-long sweep. *)
+
+val measure_wash : Rgrid.t -> tc:float -> task -> float * int
+(** [(pre_wash, washed_cells)] of a task against the current grid state;
+    call before {!commit}. *)
+
+val commit : ?weight_update:bool -> Rgrid.t -> tc:float -> task -> unit
+(** Record the task's occupations; with [weight_update] (default true)
+    every path cell's weight becomes the wash time of the residue the
+    task leaves (paper §IV-B2). *)
+
+val windows :
+  tc:float ->
+  Mfb_schedule.Types.transport ->
+  delay:float ->
+  near_src:bool ->
+  Mfb_util.Interval.t list
+(** Occupation windows a cell must be free for, matching {!occupancy}:
+    cells near the source port may hold the cached fluid for the whole
+    (shifted) transport window; downstream cells only see the initial
+    eviction sweep and the final arrival sweep. *)
+
+val usable :
+  Rgrid.t ->
+  tc:float ->
+  Mfb_schedule.Types.transport ->
+  delay:float ->
+  src_ports:(int * int) list ->
+  (int * int) ->
+  bool
+(** Cell-usability predicate for path search, consistent with the
+    occupation that {!commit} will record ("near source" means
+    Manhattan distance at most 1 from some source port). *)
+
+val settle_delay :
+  Rgrid.t ->
+  tc:float ->
+  Mfb_schedule.Types.transport ->
+  src_ports:(int * int) list ->
+  (int * int) list ->
+  float option
+(** Smallest postponement making the whole path conflict-free on every
+    cell under the {!windows} semantics, or [None] when no fixed point is
+    found within the iteration budget. *)
+
+val finalize : Rgrid.t -> task list -> unresolved:int -> result

@@ -1,0 +1,86 @@
+module Interval = Mfb_util.Interval
+module Types = Mfb_schedule.Types
+
+let sorted_transports (sched : Types.t) =
+  List.sort
+    (fun (a : Types.transport) b ->
+      let c = Float.compare a.removal b.removal in
+      if c <> 0 then c else Float.compare a.depart b.depart)
+    sched.transports
+
+(* Exchange rate between postponing a transport and lengthening its
+   channel: one second of delay costs as much as one fresh routing cell
+   (whose weighted cost is [1 + w_e]).  A short wait on an existing
+   channel then beats a long detour onto fresh cells, which is how the
+   proposed flow keeps both execution time and channel length low. *)
+let delay_cost_per_second = 8.
+
+let delay_candidates = [ 0.; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0 ]
+
+(* Route one transport with the conflict-aware weighted A*, choosing the
+   cheapest (path cost + delay penalty) over a few postponement
+   candidates. *)
+let route_task ~weight_update grid ~tc (tr : Types.transport) =
+  let srcs = Rgrid.ports grid tr.src and dsts = Rgrid.ports grid tr.dst in
+  let attempt delay =
+    let usable xy = Routed.usable grid ~tc tr ~delay ~src_ports:srcs xy in
+    Astar.search_multi grid ~srcs ~dsts ~usable ~use_weights:weight_update
+  in
+  let score delay path =
+    Astar.path_cost grid ~use_weights:weight_update path
+    +. (delay_cost_per_second *. delay)
+  in
+  let best =
+    List.fold_left
+      (fun best delay ->
+        match attempt delay with
+        | None -> best
+        | Some path ->
+          let s = score delay path in
+          (match best with
+           | Some (_, _, s') when s' <= s -> best
+           | Some _ | None -> Some (path, delay, s)))
+      None delay_candidates
+  in
+  let finish path delay unresolved =
+    let task =
+      { Routed.transport = tr; kind = Routed.Transport; path; delay;
+        pre_wash = 0.; washed_cells = 0 }
+    in
+    let pre_wash, washed_cells = Routed.measure_wash grid ~tc task in
+    let task = { task with pre_wash; washed_cells } in
+    Routed.commit ~weight_update grid ~tc task;
+    (task, unresolved)
+  in
+  match best with
+  | Some (path, delay, _) -> finish path delay false
+  | None ->
+    (* Spatially blocked or hopelessly congested: fall back to the
+       shortest obstacle-avoiding path and postpone along it. *)
+    let usable xy = not (Rgrid.blocked grid xy) in
+    let path =
+      match Astar.search_multi grid ~srcs ~dsts ~usable ~use_weights:false with
+      | Some p -> p
+      | None -> [ List.hd srcs; List.hd dsts ] (* degenerate fallback *)
+    in
+    (match Routed.settle_delay grid ~tc tr ~src_ports:srcs path with
+     | Some delay -> finish path delay false
+     | None -> finish path 0. true)
+
+let route ?(weight_update = true) ?(route_io = false) ~we ~tc chip
+    (sched : Types.t) =
+  if tc <= 0. then invalid_arg "Router.route: tc must be positive";
+  let grid = Rgrid.create ~we chip in
+  let tasks, unresolved =
+    List.fold_left
+      (fun (tasks, unresolved) tr ->
+        let task, failed = route_task ~weight_update grid ~tc tr in
+        (task :: tasks, if failed then unresolved + 1 else unresolved))
+      ([], 0) (sorted_transports sched)
+  in
+  let io, io_unresolved =
+    if route_io then Io_router.route_all ~weight_update grid ~tc sched
+    else ([], 0)
+  in
+  Routed.finalize grid (List.rev_append io tasks)
+    ~unresolved:(unresolved + io_unresolved)

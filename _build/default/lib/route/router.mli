@@ -1,0 +1,23 @@
+(** Transportation-conflict-aware routing (paper Alg. 2, lines 9-18).
+
+    Tasks are sorted by start time and routed one after another with the
+    weighted, conflict-pruned A* of Eq. 5.  After each task the weights of
+    its cells become the wash time of the residue it leaves, steering
+    later tasks towards cheap-to-wash (or same-fluid) channels and thereby
+    sharing channel segments.  When no conflict-free path exists, the task
+    is postponed by the smallest sufficient delay and routed again; the
+    resulting per-edge delays can be fed to {!Mfb_schedule.Retime} (they
+    are zero in the common case). *)
+
+val route :
+  ?weight_update:bool ->
+  ?route_io:bool ->
+  we:float ->
+  tc:float ->
+  Mfb_place.Chip.t ->
+  Mfb_schedule.Types.t ->
+  Routed.result
+(** [route ~we ~tc chip sched] routes every transport of [sched] on
+    [chip].  [weight_update] (default true) enables the wash-time weight
+    update; disabling it is the A3 ablation.
+    @raise Invalid_argument if [we < 0] or [tc <= 0]. *)

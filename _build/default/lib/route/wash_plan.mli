@@ -1,0 +1,42 @@
+(** Wash-flush planning for contaminated channels.
+
+    The paper (§II-B, after Hu et al.) models washing as injecting a
+    buffer flow through the dirty channel for the residue's wash time.
+    This module plans those flushes for a routed design: every transport
+    that crosses residues of a different fluid gets a buffer flush that
+    enters from the chip border, sweeps the dirty path, and drains back to
+    the border, scheduled to finish exactly when the transport needs the
+    channel.
+
+    The plan is analysis output (wash feasibility and buffer usage); it
+    does not feed back into the schedule — the router's conflict rules
+    already guarantee the wash {e time} fits (Eq. 5). *)
+
+type flush = {
+  task_edge : int * int;   (** the transport whose path is flushed *)
+  duration : float;        (** buffer injection time (the task's pre-wash) *)
+  window : Mfb_util.Interval.t;
+      (** when the buffer flows: ends at the task's channel entry *)
+  route : (int * int) list;
+      (** border inlet -> dirty path -> border outlet, inclusive *)
+  interferences : int;
+      (** cells of the route occupied by other fluids during [window] —
+          each would force the flush to detour or re-time on real
+          hardware *)
+}
+
+type t = {
+  flushes : flush list;           (** in routing order *)
+  total_flush_time : float;       (** sum of durations *)
+  total_route_cells : int;        (** sum of route lengths *)
+  total_interferences : int;
+  buffer_volume_cells : float;
+      (** cells x seconds of buffer flow: a proxy for wash-buffer
+          consumption *)
+}
+
+val plan : tc:float -> Routed.result -> t
+(** [plan ~tc routing] plans one flush per routed task that reported a
+    positive pre-wash.  Tasks whose path cannot reach the border (fully
+    landlocked by components — not possible on chips built by
+    {!Mfb_place.Chip}) flush in place with an empty approach. *)

@@ -1,0 +1,1 @@
+lib/schedule/baseline_scheduler.ml: Engine

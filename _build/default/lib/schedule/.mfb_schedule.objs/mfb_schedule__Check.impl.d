@@ -1,0 +1,1 @@
+lib/schedule/check.ml: Array Float Format List Mfb_bioassay Mfb_component Printf Types

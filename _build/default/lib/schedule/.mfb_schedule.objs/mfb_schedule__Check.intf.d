@@ -1,0 +1,1 @@
+lib/schedule/check.mli: Format Types

@@ -1,0 +1,1 @@
+lib/schedule/dcsa_scheduler.ml: Engine

@@ -1,0 +1,1 @@
+lib/schedule/dedicated_scheduler.ml: Array Float List Mfb_bioassay Mfb_component Mfb_util Option Printf Types

@@ -1,0 +1,1 @@
+lib/schedule/dedicated_scheduler.mli: Mfb_bioassay Mfb_component Types

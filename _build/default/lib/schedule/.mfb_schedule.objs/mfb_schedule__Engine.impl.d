@@ -1,0 +1,1 @@
+lib/schedule/engine.ml: Array Float Fun List Mfb_bioassay Mfb_component Mfb_util Option Printf Types

@@ -1,0 +1,1 @@
+lib/schedule/engine.mli: Mfb_bioassay Mfb_component Types

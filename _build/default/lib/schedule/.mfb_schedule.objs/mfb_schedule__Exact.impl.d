@@ -1,0 +1,1 @@
+lib/schedule/exact.ml: Engine List Types

@@ -1,0 +1,1 @@
+lib/schedule/exact.mli: Mfb_bioassay Mfb_component Types

@@ -1,0 +1,1 @@
+lib/schedule/export.ml: Array List Mfb_bioassay Mfb_component Mfb_util Types

@@ -1,0 +1,1 @@
+lib/schedule/metrics.ml: Array Float List Mfb_component Mfb_util Types

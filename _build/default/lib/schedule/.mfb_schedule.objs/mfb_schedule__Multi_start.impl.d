@@ -1,0 +1,1 @@
+lib/schedule/multi_start.ml: Array Engine Mfb_bioassay Mfb_util Types

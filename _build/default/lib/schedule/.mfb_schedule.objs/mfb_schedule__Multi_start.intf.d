@@ -1,0 +1,1 @@
+lib/schedule/multi_start.mli: Mfb_bioassay Mfb_component Mfb_util Types

@@ -1,0 +1,1 @@
+lib/schedule/retime.ml: Array Float Fun Hashtbl List Mfb_bioassay Mfb_component Option Types

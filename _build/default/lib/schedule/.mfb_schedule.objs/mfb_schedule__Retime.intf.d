@@ -1,0 +1,1 @@
+lib/schedule/retime.mli: Types

@@ -1,0 +1,1 @@
+lib/schedule/types.ml: Array Float Format List Mfb_bioassay Mfb_component Mfb_util Printf

@@ -1,0 +1,1 @@
+lib/schedule/types.mli: Format Mfb_bioassay Mfb_component Mfb_util

@@ -1,0 +1,1 @@
+let schedule ~tc graph allocation = Engine.run ~case1:false ~tc graph allocation

@@ -1,0 +1,10 @@
+(** The paper's baseline (BA) binding rule: every ready operation is bound
+    to the qualified component with the earliest ready time, with no
+    wash-aware Case-I preference. *)
+
+val schedule :
+  tc:float ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  Types.t
+(** See {!Engine.run} with [case1 = false]. *)

@@ -1,0 +1,1 @@
+let schedule ~tc graph allocation = Engine.run ~case1:true ~tc graph allocation

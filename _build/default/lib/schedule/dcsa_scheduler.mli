@@ -1,0 +1,10 @@
+(** The paper's Algorithm 1: resource-utilization-aware binding and
+    scheduling for DCSA biochips (Case I / Case II binding strategy over
+    priority-driven list scheduling). *)
+
+val schedule :
+  tc:float ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  Types.t
+(** See {!Engine.run} with [case1 = true]. *)

@@ -1,0 +1,369 @@
+module Seq_graph = Mfb_bioassay.Seq_graph
+module Operation = Mfb_bioassay.Operation
+module Allocation = Mfb_component.Allocation
+module Component = Mfb_component.Component
+module Interval = Mfb_util.Interval
+module Interval_set = Mfb_util.Interval_set
+
+type t = {
+  schedule : Types.t;
+  storage_trips : int;
+  storage_residence : float;
+  peak_occupancy : int;
+  capacity_overflows : int;
+}
+
+(* Where the output of a scheduled operation currently is. *)
+type location =
+  | In_component               (* still inside its producing component *)
+  | In_storage of float        (* arrived in the unit at this time *)
+  | Gone                       (* consumed, or left for its consumer *)
+
+type fluid_state = {
+  home : int;
+  produced_at : float;
+  mutable copies : int;
+  mutable location : location;
+  mutable leave : float option; (* departure from storage, once known *)
+}
+
+type comp_state = {
+  comp : Component.t;
+  mutable ready : float;
+  mutable resident : int option;
+}
+
+type storage = {
+  capacity : int;
+  mutable port_in : Interval_set.t;   (* entrance occupation *)
+  mutable port_out : Interval_set.t;  (* exit occupation *)
+  mutable residents : (int * fluid_state) list; (* producer op, state *)
+  mutable trips : int;
+  mutable residence : float;
+  mutable peak : int;
+  mutable overflows : int;
+}
+
+type state = {
+  graph : Seq_graph.t;
+  tc : float;
+  comps : comp_state array;
+  fluids : fluid_state option array;
+  times : Types.op_times option array;
+  storage : storage;
+  mutable transports : Types.transport list;
+  mutable washes : Types.wash_event list;
+}
+
+let wash_of st op = Operation.wash_time (Seq_graph.op st.graph op)
+
+let fluid_exn st op =
+  match st.fluids.(op) with
+  | Some fs -> fs
+  | None -> invalid_arg (Printf.sprintf "Dedicated_scheduler: op %d unscheduled" op)
+
+let times_exn st op =
+  match st.times.(op) with
+  | Some times -> times
+  | None -> invalid_arg (Printf.sprintf "Dedicated_scheduler: op %d has no times" op)
+
+(* Fluids occupying the unit at time [t]; an unknown departure counts as
+   occupying forever. *)
+let occupancy_at storage t =
+  List.length
+    (List.filter
+       (fun (_, fs) ->
+         match fs.location, fs.leave with
+         | In_storage enter, None -> enter <= t
+         | In_storage enter, Some leave -> enter <= t && t < leave
+         | (In_component | Gone), _ -> false)
+       storage.residents)
+
+(* Earliest eviction time >= [t]: the entrance port must be free for the
+   [tc]-long transfer and a cell must be available on arrival. *)
+let earliest_eviction st ~from:t =
+  let storage = st.storage in
+  let rec settle t fuel =
+    let t' = Interval_set.free_from t ~duration:st.tc storage.port_in in
+    let arrival = t' +. st.tc in
+    if occupancy_at storage arrival < storage.capacity then t'
+    else begin
+      (* Wait for the earliest known departure after [arrival]. *)
+      let next_leave =
+        List.fold_left
+          (fun acc (_, fs) ->
+            match fs.location, fs.leave with
+            | In_storage _, Some leave when leave > arrival ->
+              (match acc with
+               | Some best -> Some (Float.min best leave)
+               | None -> Some leave)
+            | _, _ -> acc)
+          None storage.residents
+      in
+      match next_leave with
+      | Some leave when fuel > 0 -> settle (Float.max t' (leave -. st.tc)) (fuel - 1)
+      | Some _ | None ->
+        (* Every occupant's departure is unknown: count the overflow and
+           admit — refusing would deadlock list scheduling. *)
+        storage.overflows <- storage.overflows + 1;
+        t'
+    end
+  in
+  settle t (st.storage.capacity + 4)
+
+(* Commit the eviction of [producer]'s fluid into the storage unit. *)
+let evict_to_storage st c producer =
+  let fs = fluid_exn st producer in
+  let t_evict = earliest_eviction st ~from:fs.produced_at in
+  let arrival = t_evict +. st.tc in
+  let storage = st.storage in
+  storage.port_in <-
+    Interval_set.add (Interval.make t_evict arrival) storage.port_in;
+  fs.location <- In_storage arrival;
+  storage.residents <- (producer, fs) :: storage.residents;
+  storage.trips <- storage.trips + 1;
+  storage.peak <- max storage.peak (occupancy_at storage arrival);
+  let wash = wash_of st producer in
+  st.washes <-
+    { Types.component = c.comp.id; residue_op = producer; wash_start = t_evict;
+      wash_duration = wash }
+    :: st.washes;
+  c.resident <- None;
+  c.ready <- Float.max c.ready (t_evict +. wash);
+  t_evict
+
+let in_place_candidate st c ~parents =
+  match c.resident with
+  | None -> None
+  | Some producer ->
+    let fs = fluid_exn st producer in
+    if fs.copies = 1 && List.mem producer parents then Some producer
+    else None
+
+(* Earliest start allowed on [c] (Eq. 2 with storage-eviction cost). *)
+let availability st c ~consumable_parent =
+  match c.resident with
+  | None -> c.ready
+  | Some producer ->
+    let fs = fluid_exn st producer in
+    if consumable_parent = Some producer then fs.produced_at
+    else begin
+      let t_evict = earliest_eviction st ~from:fs.produced_at in
+      t_evict +. wash_of st producer
+    end
+
+(* The earliest time the input from [parent] can arrive at [dst], given a
+   tentative consumer start: direct transports need [finish + tc]; fluids
+   already in storage need a free exit-port slot. *)
+let arrival_bound st ~parent ~start =
+  let fs = fluid_exn st parent in
+  match fs.location with
+  | In_storage enter ->
+    let desired_leave = Float.max enter (start -. st.tc) in
+    let leave =
+      Interval_set.free_from desired_leave ~duration:st.tc st.storage.port_out
+    in
+    leave +. st.tc
+  | In_component | Gone -> (times_exn st parent).finish +. st.tc
+
+let record_transport st ~parent ~child ~dst ~start ~removal =
+  let fs = fluid_exn st parent in
+  if fs.home <> dst || removal < start -. st.tc -. 1e-9 then
+    st.transports <-
+      { Types.edge = (parent, child); src = fs.home; dst; removal;
+        depart = start -. st.tc; arrive = start;
+        fluid = (Seq_graph.op st.graph parent).output }
+      :: st.transports
+
+let consume st ~op ~start c parent ~in_place =
+  let fs = fluid_exn st parent in
+  fs.copies <- fs.copies - 1;
+  if in_place = Some parent then fs.location <- Gone
+  else begin
+    match fs.location with
+    | In_storage enter ->
+      let leave = start -. st.tc in
+      st.storage.port_out <-
+        Interval_set.add (Interval.make leave (leave +. st.tc))
+          st.storage.port_out;
+      fs.leave <- Some leave;
+      fs.location <- Gone;
+      st.storage.residence <- st.storage.residence +. (leave -. enter);
+      record_transport st ~parent ~child:op ~dst:c.comp.id ~start
+        ~removal:(enter -. st.tc)
+    | In_component ->
+      (* Direct component-to-component transport. *)
+      let depart = start -. st.tc in
+      let home = st.comps.(fs.home) in
+      let wash = wash_of st parent in
+      st.washes <-
+        { Types.component = fs.home; residue_op = parent; wash_start = depart;
+          wash_duration = wash }
+        :: st.washes;
+      if home.resident = Some parent then home.resident <- None;
+      home.ready <- Float.max home.ready (depart +. wash);
+      fs.location <- Gone;
+      record_transport st ~parent ~child:op ~dst:c.comp.id ~start ~removal:depart
+    | Gone ->
+      (* Another copy already moved the volume; model the remaining copy as
+         departing with it (multi-consumer simplification, see engine). *)
+      record_transport st ~parent ~child:op ~dst:c.comp.id ~start
+        ~removal:(start -. st.tc)
+  end
+
+let schedule_on st op c ~in_place =
+  let o = Seq_graph.op st.graph op in
+  let parents = Seq_graph.parents st.graph op in
+  let avail = availability st c ~consumable_parent:in_place in
+  (* Fixed-point on the start time: fetching from storage may push the
+     start past a busy exit-port window, which may change the next fetch
+     slot. *)
+  let rec settle start fuel =
+    let bound =
+      List.fold_left
+        (fun acc parent ->
+          let b =
+            if in_place = Some parent then (times_exn st parent).finish
+            else arrival_bound st ~parent ~start
+          in
+          Float.max acc b)
+        avail parents
+    in
+    let bound = Float.max bound 0. in
+    if bound <= start +. 1e-9 || fuel = 0 then Float.max start bound
+    else settle bound (fuel - 1)
+  in
+  let start = settle 0. 16 in
+  let finish = start +. o.duration in
+  (match c.resident with
+   | Some producer when in_place = Some producer -> c.resident <- None
+   | Some producer -> ignore (evict_to_storage st c producer)
+   | None -> ());
+  List.iter (fun parent -> consume st ~op ~start c parent ~in_place) parents;
+  c.ready <- finish;
+  let out_degree = List.length (Seq_graph.children st.graph op) in
+  let fs =
+    { home = c.comp.id; produced_at = finish; copies = out_degree;
+      location = In_component; leave = None }
+  in
+  st.fluids.(op) <- Some fs;
+  if out_degree = 0 then begin
+    fs.location <- Gone;
+    let wash = wash_of st op in
+    st.washes <-
+      { Types.component = c.comp.id; residue_op = op; wash_start = finish;
+        wash_duration = wash }
+      :: st.washes;
+    c.ready <- finish +. wash
+  end
+  else c.resident <- Some op;
+  st.times.(op) <-
+    Some { Types.component = c.comp.id; start; finish; in_place_parent = in_place }
+
+(* Earliest-ready binding (the conventional architecture uses the plain
+   rule; in-place consumption still applies when it happens to be free). *)
+let choose_component st op =
+  let o = Seq_graph.op st.graph op in
+  let parents = Seq_graph.parents st.graph op in
+  let qualified =
+    Array.to_list st.comps
+    |> List.filter (fun c -> Operation.equal_kind c.comp.kind o.kind)
+  in
+  if qualified = [] then
+    invalid_arg
+      (Printf.sprintf "Dedicated_scheduler: no %s allocated"
+         (Operation.kind_to_string o.kind));
+  let scored =
+    List.map
+      (fun c ->
+        let consumable = in_place_candidate st c ~parents in
+        (availability st c ~consumable_parent:consumable, c, consumable))
+      qualified
+  in
+  match
+    List.sort
+      (fun (a1, c1, _) (a2, c2, _) ->
+        let cmp = Float.compare a1 a2 in
+        if cmp <> 0 then cmp else compare c1.comp.id c2.comp.id)
+      scored
+  with
+  | (_, c, consumable) :: _ -> (c, consumable)
+  | [] -> assert false
+
+let schedule ~tc ~capacity graph allocation =
+  if not (Float.is_finite tc) || tc <= 0. then
+    invalid_arg "Dedicated_scheduler.schedule: tc must be positive";
+  if capacity < 1 then
+    invalid_arg "Dedicated_scheduler.schedule: capacity < 1";
+  if not (Allocation.covers allocation graph) then
+    invalid_arg "Dedicated_scheduler.schedule: allocation does not cover graph";
+  let n = Seq_graph.n_ops graph in
+  let comps =
+    Array.of_list
+      (List.map (fun comp -> { comp; ready = 0.; resident = None })
+         (Allocation.components allocation))
+  in
+  let st =
+    { graph; tc; comps;
+      fluids = Array.make n None;
+      times = Array.make n None;
+      storage =
+        { capacity; port_in = Interval_set.empty;
+          port_out = Interval_set.empty; residents = []; trips = 0;
+          residence = 0.; peak = 0; overflows = 0 };
+      transports = []; washes = [] }
+  in
+  let prio = Seq_graph.priorities graph ~tc in
+  let cmp (p1, i1) (p2, i2) =
+    let c = Float.compare p2 p1 in
+    if c <> 0 then c else compare i1 i2
+  in
+  let queue = Mfb_util.Pqueue.create ~cmp in
+  let pending = Array.make n 0 in
+  List.iter (fun (_, dst) -> pending.(dst) <- pending.(dst) + 1)
+    (Seq_graph.edges graph);
+  for op = 0 to n - 1 do
+    if pending.(op) = 0 then Mfb_util.Pqueue.push queue (prio.(op), op) op
+  done;
+  let rec drain () =
+    match Mfb_util.Pqueue.pop queue with
+    | None -> ()
+    | Some (_, op) ->
+      let c, in_place = choose_component st op in
+      schedule_on st op c ~in_place;
+      List.iter
+        (fun child ->
+          pending.(child) <- pending.(child) - 1;
+          if pending.(child) = 0 then
+            Mfb_util.Pqueue.push queue (prio.(child), child) child)
+        (Seq_graph.children graph op);
+      drain ()
+  in
+  drain ();
+  let times = Array.map (Option.get) st.times in
+  let makespan =
+    Array.fold_left (fun acc (t : Types.op_times) -> Float.max acc t.finish)
+      0. times
+  in
+  {
+    schedule =
+      {
+        Types.graph; allocation;
+        components = Array.map (fun c -> c.comp) comps;
+        times;
+        transports =
+          List.sort
+            (fun (a : Types.transport) b -> Float.compare a.depart b.depart)
+            st.transports;
+        washes =
+          List.sort
+            (fun (a : Types.wash_event) b ->
+              Float.compare a.wash_start b.wash_start)
+            st.washes;
+        makespan;
+      };
+    storage_trips = st.storage.trips;
+    storage_residence = st.storage.residence;
+    peak_occupancy = st.storage.peak;
+    capacity_overflows = st.storage.overflows;
+  }

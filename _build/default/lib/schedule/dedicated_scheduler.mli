@@ -1,0 +1,44 @@
+(** Scheduling for the {e conventional} FBMB architecture with a dedicated
+    storage unit (paper §I / §II-A, Fig. 1(a)) — the architecture DCSA
+    replaces.
+
+    Differences from the DCSA engine:
+
+    - a fluid evicted from its component cannot wait in a flow channel; it
+      must take a round trip through the storage unit (one [tc] transport
+      in, one [tc] transport out);
+    - the storage unit has multiplexer-like entrance and exit ports that
+      admit {e one fluid at a time} (paper: "this port multiplexing ...
+      limits its bandwidth"), so storage traffic serializes;
+    - the unit has a bounded number of cells.
+
+    The binding rule is the baseline earliest-ready rule.  Comparing this
+    scheduler with {!Dcsa_scheduler} at equal [tc] quantifies the benefit
+    the paper claims for distributed channel storage. *)
+
+type t = {
+  schedule : Types.t;
+      (** bindings and times; transports through storage appear as a
+          single logical transport whose [removal] is the moment the fluid
+          left its producer *)
+  storage_trips : int;       (** fluids that round-tripped through storage *)
+  storage_residence : float;
+      (** total time fluids spent inside the storage unit (between arrival
+          through the entrance port and departure through the exit port) *)
+  peak_occupancy : int;      (** maximum cells simultaneously in use *)
+  capacity_overflows : int;
+      (** evictions that found the unit full and could not be delayed
+          behind a known departure (counted, then admitted — see
+          implementation notes) *)
+}
+
+val schedule :
+  tc:float ->
+  capacity:int ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  t
+(** [schedule ~tc ~capacity g alloc] runs list scheduling under the
+    dedicated-storage rules.
+    @raise Invalid_argument if [tc <= 0], [capacity < 1], or the
+    allocation does not cover the graph. *)

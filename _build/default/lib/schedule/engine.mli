@@ -1,0 +1,76 @@
+(** Shared list-scheduling engine for the DCSA scheduler and the baseline.
+
+    Implements the priority-driven loop of the paper's Alg. 1 over a
+    fluid-residency state machine:
+
+    - every produced fluid stays inside its producing component until it
+      is consumed in place, transported to its consumer, or evicted into
+      a flow channel because the component is needed;
+    - a component becomes ready [wash(residue)] seconds after its residue
+      leaves (paper Eq. 2);
+    - consuming a parent's output in place (Case I) eliminates both the
+      transport and the wash of that component.
+
+    The [case1] flag selects the binding rule: with [case1 = true] the
+    engine prefers the component of a same-kind parent whose output is
+    still resident, choosing the lowest diffusion coefficient (the paper's
+    Case I); with [case1 = false] every operation is bound to the
+    qualified component with the earliest availability (the paper's
+    baseline BA).  In both modes an operation that happens to land on its
+    parent's component with a single unconsumed copy is executed in place,
+    matching the paper's discussion of [5]'s assumption. *)
+
+val run :
+  ?priorities:float array ->
+  case1:bool ->
+  tc:float ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  Types.t
+(** [run ~case1 ~tc g alloc] schedules every operation of [g] on the
+    components of [alloc].  [priorities] overrides the longest-path
+    priority values (one per operation) — the hook used by the
+    multi-start scheduler; it affects only the dispatch order, never
+    legality.
+
+    @raise Invalid_argument if [tc <= 0], some operation kind of [g] has
+    no allocated component, or [priorities] has the wrong length. *)
+
+(** Step-wise access to the scheduling state machine, for exhaustive
+    search over binding decisions ({!Exact}).  Every transition uses
+    exactly the timing semantics of {!run}, so exact and heuristic
+    results are directly comparable. *)
+module Search : sig
+  type snapshot
+
+  val init :
+    tc:float ->
+    Mfb_bioassay.Seq_graph.t ->
+    Mfb_component.Allocation.t ->
+    snapshot
+  (** Fresh state; same validation as {!run}. *)
+
+  val ready_ops : snapshot -> int list
+  (** Unscheduled operations whose parents are all scheduled. *)
+
+  val candidates : snapshot -> int -> (int * int option) list
+  (** [(component, in_place_parent)] choices for one ready operation; the
+      in-place parent is induced by the component's resident fluid. *)
+
+  val apply : snapshot -> int -> int * int option -> snapshot
+  (** Schedule the operation on the chosen component; the input snapshot
+      is unchanged. *)
+
+  val complete : snapshot -> bool
+
+  val current_makespan : snapshot -> float
+  (** Maximum finish time among scheduled operations. *)
+
+  val lower_bound : snapshot -> float
+  (** Admissible completion-time bound: current makespan joined with, for
+      every unscheduled operation, its earliest conceivable start plus
+      its duration-only critical tail. *)
+
+  val to_schedule : snapshot -> Types.t
+  (** @raise Invalid_argument when not {!complete}. *)
+end

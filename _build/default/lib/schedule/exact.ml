@@ -1,0 +1,35 @@
+module Search = Engine.Search
+
+type t = { schedule : Types.t; optimal : bool; explored : int }
+
+let schedule ?(node_limit = 200_000) ~tc graph allocation =
+  (* Seed the incumbent with the heuristic so pruning bites immediately
+     and the result can never regress below it. *)
+  let heuristic = Engine.run ~case1:true ~tc graph allocation in
+  let best = ref heuristic in
+  let best_makespan = ref heuristic.makespan in
+  let explored = ref 0 in
+  let exhausted = ref true in
+  let rec branch snap =
+    if !explored >= node_limit then exhausted := false
+    else begin
+      incr explored;
+      if Search.complete snap then begin
+        let makespan = Search.current_makespan snap in
+        if makespan < !best_makespan -. 1e-9 then begin
+          best_makespan := makespan;
+          best := Search.to_schedule snap
+        end
+      end
+      else if Search.lower_bound snap < !best_makespan -. 1e-9 then begin
+        let expand op =
+          List.iter
+            (fun choice -> branch (Search.apply snap op choice))
+            (Search.candidates snap op)
+        in
+        List.iter expand (Search.ready_ops snap)
+      end
+    end
+  in
+  branch (Search.init ~tc graph allocation);
+  { schedule = !best; optimal = !exhausted; explored = !explored }

@@ -1,0 +1,28 @@
+(** Exact (branch-and-bound) binding and scheduling for small bioassays.
+
+    Explores every dispatch order and binding choice of the scheduling
+    state machine (via {!Engine.Search}, so timing semantics are identical
+    to the heuristics) and returns a completion-time-optimal schedule
+    within a node budget.  Exponential — intended for assays of up to
+    about ten operations, as a quality reference for
+    {!Dcsa_scheduler}. *)
+
+type t = {
+  schedule : Types.t;   (** best schedule found *)
+  optimal : bool;       (** true when the search space was exhausted *)
+  explored : int;       (** search nodes expanded *)
+}
+
+val schedule :
+  ?node_limit:int ->
+  tc:float ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  t
+(** [schedule ~tc g alloc] minimises the makespan exactly (within
+    [node_limit], default 200000 expanded nodes; when the limit is hit,
+    [optimal] is false and the best incumbent is returned).  The search
+    is seeded with the DCSA heuristic so the result is never worse than
+    {!Dcsa_scheduler.schedule}.
+    @raise Invalid_argument under the same conditions as
+    {!Engine.run}. *)

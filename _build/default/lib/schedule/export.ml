@@ -1,0 +1,52 @@
+module J = Mfb_util.Json
+
+let op_json op (t : Types.op_times) =
+  J.Obj
+    ([
+       ("op", J.Int op);
+       ("component", J.Int t.component);
+       ("start", J.Float t.start);
+       ("finish", J.Float t.finish);
+     ]
+    @
+    match t.in_place_parent with
+    | Some p -> [ ("in_place_parent", J.Int p) ]
+    | None -> [])
+
+let transport_json (tr : Types.transport) =
+  J.Obj
+    [
+      ("producer", J.Int (fst tr.edge));
+      ("consumer", J.Int (snd tr.edge));
+      ("src", J.Int tr.src);
+      ("dst", J.Int tr.dst);
+      ("removal", J.Float tr.removal);
+      ("depart", J.Float tr.depart);
+      ("arrive", J.Float tr.arrive);
+      ("cache_time", J.Float (Types.transport_cache_time tr));
+      ("fluid", J.String tr.fluid.Mfb_bioassay.Fluid.name);
+    ]
+
+let wash_json (w : Types.wash_event) =
+  J.Obj
+    [
+      ("component", J.Int w.component);
+      ("residue_op", J.Int w.residue_op);
+      ("start", J.Float w.wash_start);
+      ("duration", J.Float w.wash_duration);
+    ]
+
+let to_json (sched : Types.t) =
+  J.Obj
+    [
+      ("assay", J.String (Mfb_bioassay.Seq_graph.name sched.graph));
+      ( "allocation",
+        J.String (Mfb_component.Allocation.to_string sched.allocation) );
+      ("makespan", J.Float sched.makespan);
+      ( "operations",
+        J.List (Array.to_list (Array.mapi op_json sched.times)) );
+      ("transports", J.List (List.map transport_json sched.transports));
+      ("washes", J.List (List.map wash_json sched.washes));
+    ]
+
+let to_string ?indent sched = J.to_string ?indent (to_json sched)

@@ -1,0 +1,10 @@
+(** JSON export of schedules, for external tooling (plotters, viewers,
+    downstream CAD steps). *)
+
+val to_json : Types.t -> Mfb_util.Json.t
+(** Full dump: per-operation bindings and times (with in-place parents),
+    transports (endpoints, windows, fluids, cache times), wash events,
+    and the makespan. *)
+
+val to_string : ?indent:int -> Types.t -> string
+(** [Mfb_util.Json.to_string] of {!to_json}. *)

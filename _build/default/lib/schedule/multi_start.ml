@@ -1,0 +1,30 @@
+type t = {
+  schedule : Types.t;
+  restarts : int;
+  improved_over_first : float;
+}
+
+let schedule ?(restarts = 16) ?(noise = 0.25) ~rng ~tc graph allocation =
+  if restarts < 1 then invalid_arg "Multi_start.schedule: restarts < 1";
+  if noise < 0. then invalid_arg "Multi_start.schedule: negative noise";
+  let base = Mfb_bioassay.Seq_graph.priorities graph ~tc in
+  let first = Engine.run ~case1:true ~tc graph allocation in
+  let best = ref first in
+  for _ = 2 to restarts do
+    let perturbed =
+      Array.map
+        (fun p ->
+          p *. (1. -. noise +. Mfb_util.Rng.float rng (2. *. noise)))
+        base
+    in
+    let candidate =
+      Engine.run ~priorities:perturbed ~case1:true ~tc graph allocation
+    in
+    if candidate.makespan < !best.Types.makespan -. 1e-9 then
+      best := candidate
+  done;
+  {
+    schedule = !best;
+    restarts;
+    improved_over_first = first.makespan -. !best.Types.makespan;
+  }

@@ -1,0 +1,29 @@
+(** Multi-start randomized list scheduling.
+
+    The paper's Alg. 1 dispatches operations by a fixed longest-path
+    priority; ties and near-ties make the outcome sensitive to the
+    dispatch order.  This metaheuristic layer re-runs the engine with
+    randomly perturbed priorities and keeps the best schedule — a cheap,
+    classic way to shave a few percent off a constructive heuristic.
+    The first restart always uses the unperturbed priorities, so the
+    result is never worse than {!Dcsa_scheduler.schedule}. *)
+
+type t = {
+  schedule : Types.t;     (** best schedule found *)
+  restarts : int;         (** engine runs performed *)
+  improved_over_first : float;
+      (** makespan reduction vs the unperturbed run, in seconds *)
+}
+
+val schedule :
+  ?restarts:int ->
+  ?noise:float ->
+  rng:Mfb_util.Rng.t ->
+  tc:float ->
+  Mfb_bioassay.Seq_graph.t ->
+  Mfb_component.Allocation.t ->
+  t
+(** [schedule ~rng ~tc g alloc] runs [restarts] (default 16) engine
+    passes; each perturbed pass scales every priority by a uniform factor
+    in [\[1 - noise, 1 + noise\]] (default [noise = 0.25]).
+    @raise Invalid_argument if [restarts < 1] or [noise < 0]. *)

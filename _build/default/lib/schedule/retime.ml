@@ -1,0 +1,156 @@
+module Seq_graph = Mfb_bioassay.Seq_graph
+module Operation = Mfb_bioassay.Operation
+
+(* Retiming keeps every structural decision of the input schedule (bindings,
+   per-component order, in-place consumption) and recomputes start times
+   under inflated transport durations.  Operations never move earlier than
+   their original start.  Wash separation between consecutive operations on
+   a component stays legal because in DCSA a resident fluid can always be
+   evicted into a channel [wash] seconds before the component is needed. *)
+
+let with_transport_delays ?(op_delays = []) (sched : Types.t) ~delays =
+  List.iter
+    (fun (_, d) ->
+      if d < 0. then invalid_arg "Retime.with_transport_delays: negative delay")
+    delays;
+  List.iter
+    (fun (_, d) ->
+      if d < 0. then invalid_arg "Retime.with_transport_delays: negative delay")
+    op_delays;
+  let delay_tbl = Hashtbl.create 16 in
+  List.iter (fun (e, d) -> Hashtbl.replace delay_tbl e d) delays;
+  let delay_of e = Option.value ~default:0. (Hashtbl.find_opt delay_tbl e) in
+  let op_delay_tbl = Hashtbl.create 16 in
+  List.iter (fun (op, d) -> Hashtbl.replace op_delay_tbl op d) op_delays;
+  let op_delay_of op =
+    Option.value ~default:0. (Hashtbl.find_opt op_delay_tbl op)
+  in
+  let tc =
+    match sched.transports with
+    | tr :: _ -> tr.arrive -. tr.depart
+    | [] -> 0.
+  in
+  let g = sched.graph in
+  let n = Seq_graph.n_ops g in
+  let transported = Hashtbl.create 16 in
+  List.iter (fun (tr : Types.transport) -> Hashtbl.replace transported tr.edge ())
+    sched.transports;
+  let wash op = Operation.wash_time (Seq_graph.op g op) in
+  (* Per-component execution order from the original schedule. *)
+  let predecessor_on_component = Array.make n None in
+  let successor_on_component = Array.make n None in
+  Array.iter
+    (fun (comp : Mfb_component.Component.t) ->
+      let rec link = function
+        | (a, _) :: ((b, _) :: _ as rest) ->
+          predecessor_on_component.(b) <- Some a;
+          successor_on_component.(a) <- Some b;
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link (Types.ops_on_component sched comp.id))
+    sched.components;
+  let start' = Array.make n 0. and finish' = Array.make n 0. in
+  let order =
+    List.sort
+      (fun a b ->
+        let ta = sched.times.(a) and tb = sched.times.(b) in
+        let c = Float.compare ta.start tb.start in
+        if c <> 0 then c else compare a b)
+      (List.init n Fun.id)
+  in
+  let retime op =
+    let t = sched.times.(op) in
+    let parent_bound p =
+      let sep =
+        if t.in_place_parent = Some p then 0.
+        else if Hashtbl.mem transported (p, op) then tc +. delay_of (p, op)
+        else tc
+      in
+      finish'.(p) +. sep
+    in
+    let comp_bound =
+      match predecessor_on_component.(op) with
+      | None -> 0.
+      | Some q ->
+        let sep = if t.in_place_parent = Some q then 0. else wash q in
+        finish'.(q) +. sep
+    in
+    let s =
+      List.fold_left (fun acc p -> Float.max acc (parent_bound p))
+        (Float.max (t.start +. op_delay_of op) comp_bound)
+        (Seq_graph.parents g op)
+    in
+    start'.(op) <- s;
+    finish'.(op) <- s +. (t.finish -. t.start)
+  in
+  List.iter retime order;
+  (* The fluid of [op] leaves its component at the earliest of: an eviction
+     forced by the next operation on the component, or its first consumer's
+     departure. *)
+  let removal' op =
+    let departures =
+      List.filter_map
+        (fun (tr : Types.transport) ->
+          if fst tr.edge = op then Some (start'.(snd tr.edge) -. tc) else None)
+        sched.transports
+    in
+    let eviction =
+      match successor_on_component.(op) with
+      | Some next when sched.times.(next).in_place_parent <> Some op ->
+        Some (Float.max finish'.(op) (start'.(next) -. wash op))
+      | Some _ | None -> None
+    in
+    let in_place_consumption =
+      List.find_map
+        (fun child ->
+          if sched.times.(child).in_place_parent = Some op then
+            Some start'.(child)
+          else None)
+        (Seq_graph.children g op)
+    in
+    let candidates =
+      departures
+      @ Option.to_list eviction
+      @ Option.to_list in_place_consumption
+    in
+    match candidates with
+    | [] -> finish'.(op) (* sink: product leaves when the op completes *)
+    | xs -> List.fold_left Float.min (List.hd xs) xs
+  in
+  let removal_cache = Hashtbl.create 16 in
+  let removal_of op =
+    match Hashtbl.find_opt removal_cache op with
+    | Some r -> r
+    | None ->
+      let r = removal' op in
+      Hashtbl.replace removal_cache op r;
+      r
+  in
+  let transports =
+    List.map
+      (fun (tr : Types.transport) ->
+        let _, child = tr.edge in
+        let arrive = start'.(child) in
+        let depart = arrive -. tc in
+        let removal = Float.min (removal_of (fst tr.edge)) depart in
+        { tr with removal; depart; arrive })
+      sched.transports
+    |> List.sort (fun (a : Types.transport) b -> Float.compare a.depart b.depart)
+  in
+  let washes =
+    List.map
+      (fun (w : Types.wash_event) ->
+        { w with wash_start = removal_of w.residue_op })
+      sched.washes
+    |> List.sort (fun (a : Types.wash_event) b ->
+           Float.compare a.wash_start b.wash_start)
+  in
+  let times =
+    Array.mapi
+      (fun op (t : Types.op_times) ->
+        { t with start = start'.(op); finish = finish'.(op) })
+      sched.times
+  in
+  let makespan = Array.fold_left (fun acc f -> Float.max acc f) 0. finish' in
+  { sched with times; transports; washes; makespan }

@@ -1,0 +1,22 @@
+(** Re-simulation of a schedule under routing-induced transport delays.
+
+    The baseline's construction-by-correction routing postpones conflicting
+    transports.  [with_transport_delays] pushes those postponements back
+    through the schedule, keeping every binding and the per-component
+    execution order fixed, and never moving any operation earlier than in
+    the input schedule.  All timing invariants (dependency separation,
+    component exclusivity, wash gaps) are preserved. *)
+
+val with_transport_delays :
+  ?op_delays:(int * float) list ->
+  Types.t ->
+  delays:((int * int) * float) list ->
+  Types.t
+(** [with_transport_delays sched ~delays] returns a retimed schedule in
+    which the transport for edge [e] takes [tc + delay e] instead of
+    [tc].  Unknown edges in [delays] are ignored; missing edges default
+    to zero delay.  [op_delays] additionally forces individual operations
+    to start at least that much later than originally (used for delayed
+    inlet dispensing).  Transport windows, wash starts, channel cache
+    times and the makespan are recomputed accordingly.
+    @raise Invalid_argument on a negative delay. *)

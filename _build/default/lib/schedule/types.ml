@@ -1,0 +1,70 @@
+type transport = {
+  edge : int * int;
+  src : int;
+  dst : int;
+  removal : float;
+  depart : float;
+  arrive : float;
+  fluid : Mfb_bioassay.Fluid.t;
+}
+
+type wash_event = {
+  component : int;
+  residue_op : int;
+  wash_start : float;
+  wash_duration : float;
+}
+
+type op_times = {
+  component : int;
+  start : float;
+  finish : float;
+  in_place_parent : int option;
+}
+
+type t = {
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;
+  components : Mfb_component.Component.t array;
+  times : op_times array;
+  transports : transport list;
+  washes : wash_event list;
+  makespan : float;
+}
+
+let transport_cache_time tr = tr.depart -. tr.removal
+
+let transport_interval tr = Mfb_util.Interval.make tr.removal tr.arrive
+
+let ops_on_component sched c =
+  let on_c = ref [] in
+  Array.iteri
+    (fun op times -> if times.component = c then on_c := (op, times) :: !on_c)
+    sched.times;
+  List.sort (fun (_, a) (_, b) -> Float.compare a.start b.start) !on_c
+
+let pp_transport ppf tr =
+  let src_op, dst_op = tr.edge in
+  Format.fprintf ppf "o%d->o%d: c%d->c%d removal=%g depart=%g arrive=%g"
+    src_op dst_op tr.src tr.dst tr.removal tr.depart tr.arrive
+
+let pp ppf sched =
+  Format.fprintf ppf "@[<v>schedule of %s on %a (makespan %.1f s)@,"
+    (Mfb_bioassay.Seq_graph.name sched.graph)
+    Mfb_component.Allocation.pp sched.allocation sched.makespan;
+  Array.iter
+    (fun (c : Mfb_component.Component.t) ->
+      let ops = ops_on_component sched c.id in
+      if ops <> [] then begin
+        Format.fprintf ppf "  %s:" (Mfb_component.Component.label c);
+        List.iter
+          (fun (op, times) ->
+            Format.fprintf ppf " o%d[%g-%g]%s" op times.start times.finish
+              (match times.in_place_parent with
+               | Some p -> Printf.sprintf "(in-place o%d)" p
+               | None -> ""))
+          ops;
+        Format.fprintf ppf "@,"
+      end)
+    sched.components;
+  Format.fprintf ppf "@]"

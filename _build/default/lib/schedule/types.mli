@@ -1,0 +1,63 @@
+(** Result types of the binding-and-scheduling stage.
+
+    Time model: continuous seconds.  Transport between two distinct
+    components takes the user constant [tc] (paper §IV-A).  A fluid stays
+    in its producing component as long as possible; if the component is
+    needed earlier, the fluid is {e evicted} into a flow channel and the
+    time it spends there before departing to its consumer is its
+    {e channel cache time} (the quantity of the paper's Fig. 8). *)
+
+type transport = {
+  edge : int * int;      (** (producer op, consumer op) *)
+  src : int;             (** source component id *)
+  dst : int;             (** destination component id; equals [src] only
+                             for a loopback: a fluid evicted into a
+                             channel and later pulled back *)
+  removal : float;       (** when the fluid left the source component *)
+  depart : float;        (** when it starts moving towards [dst] *)
+  arrive : float;        (** [depart +. tc] = consumer start time *)
+  fluid : Mfb_bioassay.Fluid.t;
+}
+(** Invariants: [removal <= depart < arrive].  The fluid occupies channel
+    cells over [\[removal, arrive)); its channel cache time is
+    [depart -. removal]. *)
+
+type wash_event = {
+  component : int;       (** washed component id *)
+  residue_op : int;      (** operation whose output left the residue *)
+  wash_start : float;
+  wash_duration : float;
+}
+
+type op_times = {
+  component : int;       (** executing component id *)
+  start : float;
+  finish : float;        (** [start +. duration] *)
+  in_place_parent : int option;
+      (** parent whose output was consumed inside [component] without any
+          transport (Case I of the paper's Alg. 1) *)
+}
+
+type t = {
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;
+  components : Mfb_component.Component.t array;
+  times : op_times array;        (** indexed by operation id *)
+  transports : transport list;   (** sorted by [depart] *)
+  washes : wash_event list;      (** component washes, sorted by start *)
+  makespan : float;              (** completion time of the bioassay *)
+}
+
+val transport_cache_time : transport -> float
+(** [depart -. removal]. *)
+
+val transport_interval : transport -> Mfb_util.Interval.t
+(** Channel occupation [\[removal, arrive)). *)
+
+val ops_on_component : t -> int -> (int * op_times) list
+(** Operations executed on a component, sorted by start time. *)
+
+val pp_transport : Format.formatter -> transport -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump (Gantt-style listing). *)

@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Array Buffer Char Float Hashtbl List Mfb_bioassay Mfb_component Mfb_place Mfb_route Mfb_schedule Mfb_util Option Printf Seq

@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Mfb_bioassay Mfb_place Mfb_route Mfb_schedule

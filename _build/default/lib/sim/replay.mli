@@ -1,0 +1,55 @@
+(** Discrete-event replay of a synthesised physical design.
+
+    The replay reconstructs the state of the chip — what every component
+    is doing, which fluid sits in which channel cell — at any time point,
+    independently of the data structures the synthesis stages used to
+    build the design.  It serves two purposes:
+
+    - {e verification}: re-check the physical invariants (one fluid per
+      cell, one activity per component) at every event boundary, as an
+      end-to-end cross-check of scheduler and router;
+    - {e visualisation}: render ASCII frames of the chip in motion. *)
+
+type activity =
+  | Idle
+  | Executing of int   (** operation id *)
+  | Holding of int     (** resident output fluid of this operation *)
+  | Washing of int     (** flushing the residue of this operation *)
+
+type snapshot = {
+  time : float;
+  components : activity array;          (** indexed by component id *)
+  cells : ((int * int) * Mfb_bioassay.Fluid.t) list;
+      (** channel cells currently holding fluid *)
+}
+
+type violation = { time : float; message : string }
+
+type t
+
+val create :
+  tc:float ->
+  chip:Mfb_place.Chip.t ->
+  schedule:Mfb_schedule.Types.t ->
+  routing:Mfb_route.Routed.result ->
+  t
+
+val events : t -> float list
+(** All distinct event times (operation starts/finishes, transport
+    boundaries, wash boundaries), sorted ascending. *)
+
+val state_at : t -> float -> snapshot
+
+val check : t -> violation list
+(** Replay every event boundary and the midpoint of every inter-event
+    interval, verifying:
+
+    - no channel cell holds two different fluids at once;
+    - no component has two simultaneous activities;
+    - every executing component is qualified for its operation. *)
+
+val frame : t -> float -> string
+(** ASCII rendering of {!state_at}: components drawn with their kind
+    letter (uppercase = executing, lowercase = holding a fluid,
+    [~] = washing, [_] = idle), [*] for channel cells holding fluid,
+    [.] free. *)

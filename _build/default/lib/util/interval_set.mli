@@ -1,0 +1,38 @@
+(** Ordered collections of disjoint-or-not time slots.
+
+    An interval set records the occupation history of a resource (a routing
+    cell, a component).  Insertion keeps the list sorted by start time;
+    membership queries answer "is the resource free over [iv]?". *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val add : Interval.t -> t -> t
+(** [add iv s] inserts [iv]; empty intervals are ignored.  Overlapping
+    intervals are allowed to coexist (occupation by the same task chain). *)
+
+val overlaps : Interval.t -> t -> bool
+(** [overlaps iv s] is true when some stored interval overlaps [iv]. *)
+
+val first_conflict : Interval.t -> t -> Interval.t option
+(** [first_conflict iv s] is the earliest stored interval overlapping
+    [iv], if any. *)
+
+val free_from : float -> duration:float -> t -> float
+(** [free_from t ~duration s] is the earliest [t' >= t] such that
+    [\[t', t' + duration)] overlaps nothing in [s]. *)
+
+val total_duration : t -> float
+(** Sum of durations of all stored intervals (overlaps counted twice). *)
+
+val elements : t -> Interval.t list
+(** Stored intervals, sorted by start time. *)
+
+val of_list : Interval.t list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** Minimal JSON value model and serializer for exporting experiment
+    results; no parsing is needed in this project. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** [to_string ~indent v] serializes [v]; [indent = 0] (default) yields a
+    compact single line, a positive indent pretty-prints. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic parts of the synthesis flow (synthetic benchmark
+    generation, simulated annealing) draw from this generator so that every
+    experiment is reproducible bit-for-bit from its seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** Independent clone with identical future output. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in rng lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split rng] derives an independent generator, advancing [rng]. *)

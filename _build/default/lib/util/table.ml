@@ -1,0 +1,74 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Separator
+
+type t = {
+  headers : string list;
+  mutable aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~headers =
+  { headers; aligns = List.map (fun _ -> Right) headers; lines = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> List.length t.headers then
+    invalid_arg "Table.set_aligns: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let gap = width - n in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+    | Center ->
+      let left = gap / 2 in
+      String.make left ' ' ^ s ^ String.make (gap - left) ' '
+  end
+
+let render t =
+  let rows = List.rev t.lines in
+  let widths =
+    List.fold_left
+      (fun widths line ->
+        match line with
+        | Separator -> widths
+        | Row cells -> List.map2 (fun w c -> max w (String.length c)) widths cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_row aligns cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w cell ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  emit_row (List.map (fun _ -> Center) t.headers) t.headers;
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Row cells -> emit_row t.aligns cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for experiment reports.
+
+    Produces aligned ASCII tables in the style of the paper's Table I. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers; all columns right-aligned by
+    default. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment; the list must match the header count.
+    @raise Invalid_argument on length mismatch. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header
+    count. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule before the next row. *)
+
+val render : t -> string
+(** The formatted table, newline-terminated. *)
+
+val print : t -> unit
+(** [render] to standard output. *)

@@ -1,0 +1,12 @@
+  $ ../../bin/dcsa_synth.exe list
+  $ ../../bin/dcsa_synth.exe info -b PCR
+  $ ../../bin/dcsa_synth.exe dot -b IVD | head -4
+  $ ../../bin/dcsa_synth.exe run -b nope 2>&1 | head -1
+  $ ../../bin/dcsa_synth.exe explore -b PCR
+  $ cat > bad.assay <<'ASSAY'
+  > assay "broken"
+  > fluid serum 4e-7
+  > op 0 grind 5 serum
+  > ASSAY
+  $ ../../bin/dcsa_synth.exe run -i bad.assay 2>&1 | head -1
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 2>/dev/null | cut -d' ' -f1

@@ -1,0 +1,1 @@
+test/test_bioassay.ml: Alcotest Array Filename Float Fun Hashtbl List Mfb_bioassay Mfb_component Mfb_schedule Printf QCheck2 QCheck_alcotest Random Sys Testkit

@@ -1,0 +1,1 @@
+test/test_component.ml: Alcotest List Mfb_bioassay Mfb_component Printf

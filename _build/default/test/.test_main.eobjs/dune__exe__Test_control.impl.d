@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Fun Hashtbl List Mfb_bioassay Mfb_component Mfb_control Mfb_core Mfb_route Printf QCheck2 QCheck_alcotest Random Testkit

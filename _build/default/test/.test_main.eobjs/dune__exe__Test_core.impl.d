@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Lazy List Mfb_bioassay Mfb_component Mfb_core Mfb_place Mfb_route Mfb_schedule Mfb_sim Mfb_util Printf QCheck2 QCheck_alcotest Random String Testkit

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bioassay Test_component Test_control Test_core Test_place Test_route Test_schedule Test_sim Test_util

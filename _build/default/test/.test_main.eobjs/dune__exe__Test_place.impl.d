@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Float Hashtbl List Mfb_bioassay Mfb_component Mfb_place Mfb_schedule Mfb_util Printf QCheck2 QCheck_alcotest Random Testkit

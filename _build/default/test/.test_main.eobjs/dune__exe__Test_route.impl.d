@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Float List Mfb_bioassay Mfb_component Mfb_place Mfb_route Mfb_schedule Mfb_util Printf Testkit

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Float Fun Hashtbl List Mfb_bioassay Mfb_component Mfb_schedule Mfb_util QCheck2 QCheck_alcotest Random String Testkit

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Mfb_bioassay Mfb_core Mfb_route Mfb_schedule Mfb_sim Printf Testkit

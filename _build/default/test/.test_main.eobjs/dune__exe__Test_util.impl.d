@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Hashtbl List Mfb_util Option QCheck2 QCheck_alcotest Random String Testkit

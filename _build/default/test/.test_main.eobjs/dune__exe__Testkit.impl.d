@@ -1,0 +1,1 @@
+test/testkit.ml: List Mfb_core String

@@ -1,0 +1,7 @@
+(* Entry point aggregating all per-library suites. *)
+
+let () =
+  Alcotest.run "microflow"
+    (Test_util.suites @ Test_bioassay.suites @ Test_component.suites
+   @ Test_schedule.suites @ Test_place.suites @ Test_route.suites
+   @ Test_core.suites @ Test_control.suites @ Test_sim.suites)

@@ -1,0 +1,444 @@
+(* Tests for the generic substrates in Mfb_util. *)
+
+module Pqueue = Mfb_util.Pqueue
+module Interval = Mfb_util.Interval
+module Interval_set = Mfb_util.Interval_set
+module Rng = Mfb_util.Rng
+module Dsu = Mfb_util.Dsu
+module Stats = Mfb_util.Stats
+module Table = Mfb_util.Table
+module Json = Mfb_util.Json
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest ?(count = 200) name gen prop =
+  (* A per-test fixed seed keeps property tests reproducible run to run. *)
+  let rand = Random.State.make [| Hashtbl.hash name |] in
+  QCheck_alcotest.to_alcotest ~rand (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Pqueue --- *)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek" true (Pqueue.peek q = None)
+
+let test_pqueue_order () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (fun p -> Pqueue.push q p (string_of_int p)) [ 5; 1; 4; 2; 3 ];
+  let popped = List.init 5 (fun _ -> fst (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] popped
+
+let test_pqueue_max_via_cmp () =
+  let q = Pqueue.create ~cmp:(fun a b -> compare b a) in
+  List.iter (fun p -> Pqueue.push q p p) [ 5; 1; 4 ];
+  Alcotest.(check int) "max first" 5 (fst (Option.get (Pqueue.pop q)))
+
+let test_pqueue_peek_stable () =
+  let q = Pqueue.create ~cmp:compare in
+  Pqueue.push q 2 "b";
+  Pqueue.push q 1 "a";
+  Alcotest.(check int) "peek min" 1 (fst (Option.get (Pqueue.peek q)));
+  Alcotest.(check int) "length unchanged" 2 (Pqueue.length q)
+
+let test_pqueue_interleaved () =
+  let q = Pqueue.create ~cmp:compare in
+  Pqueue.push q 3 ();
+  Pqueue.push q 1 ();
+  Alcotest.(check int) "first pop" 1 (fst (Option.get (Pqueue.pop q)));
+  Pqueue.push q 2 ();
+  Alcotest.(check int) "second pop" 2 (fst (Option.get (Pqueue.pop q)));
+  Alcotest.(check int) "third pop" 3 (fst (Option.get (Pqueue.pop q)))
+
+let test_pqueue_to_list () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (fun p -> Pqueue.push q p p) [ 3; 1; 2 ];
+  let items = List.sort compare (List.map fst (Pqueue.to_list q)) in
+  Alcotest.(check (list int)) "all present" [ 1; 2; 3 ] items;
+  Alcotest.(check int) "length unchanged" 3 (Pqueue.length q)
+
+let prop_pqueue_sorts =
+  qtest "pqueue pops in sorted order"
+    QCheck2.Gen.(list_size (int_bound 200) int)
+    (fun xs ->
+      let q = Pqueue.create ~cmp:compare in
+      List.iter (fun x -> Pqueue.push q x x) xs;
+      let popped =
+        List.init (List.length xs) (fun _ -> fst (Option.get (Pqueue.pop q)))
+      in
+      popped = List.sort compare xs)
+
+let prop_pqueue_length =
+  qtest "pqueue length tracks pushes"
+    QCheck2.Gen.(list_size (int_bound 100) int)
+    (fun xs ->
+      let q = Pqueue.create ~cmp:compare in
+      List.iter (fun x -> Pqueue.push q x ()) xs;
+      Pqueue.length q = List.length xs)
+
+(* --- Interval --- *)
+
+let test_interval_make_invalid () =
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Interval.make: hi < lo")
+    (fun () -> ignore (Interval.make 2. 1.));
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Interval.make: non-finite bound") (fun () ->
+      ignore (Interval.make Float.nan 1.))
+
+let test_interval_basics () =
+  let iv = Interval.make 1. 4. in
+  check_float "lo" 1. (Interval.lo iv);
+  check_float "hi" 4. (Interval.hi iv);
+  check_float "duration" 3. (Interval.duration iv);
+  Alcotest.(check bool) "not empty" false (Interval.is_empty iv);
+  Alcotest.(check bool) "empty" true (Interval.is_empty (Interval.make 2. 2.))
+
+let test_interval_overlap () =
+  let a = Interval.make 0. 2. and b = Interval.make 1. 3. in
+  Alcotest.(check bool) "overlap" true (Interval.overlaps a b);
+  let c = Interval.make 2. 4. in
+  Alcotest.(check bool) "half-open adjacency" false (Interval.overlaps a c);
+  let e = Interval.make 1. 1. in
+  Alcotest.(check bool) "empty overlaps nothing" false (Interval.overlaps a e)
+
+let test_interval_contains () =
+  let iv = Interval.make 1. 3. in
+  Alcotest.(check bool) "lo included" true (Interval.contains iv 1.);
+  Alcotest.(check bool) "hi excluded" false (Interval.contains iv 3.);
+  Alcotest.(check bool) "middle" true (Interval.contains iv 2.)
+
+let test_interval_shift_hull () =
+  let iv = Interval.shift (Interval.make 1. 3.) 2. in
+  check_float "shift lo" 3. (Interval.lo iv);
+  check_float "shift hi" 5. (Interval.hi iv);
+  let h = Interval.hull (Interval.make 0. 1.) (Interval.make 5. 6.) in
+  check_float "hull lo" 0. (Interval.lo h);
+  check_float "hull hi" 6. (Interval.hi h)
+
+let interval_gen =
+  QCheck2.Gen.(
+    map2
+      (fun lo len -> Interval.make lo (lo +. Float.abs len))
+      (float_bound_inclusive 100.) (float_bound_inclusive 50.))
+
+let prop_interval_overlap_sym =
+  qtest "interval overlap is symmetric"
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) -> Interval.overlaps a b = Interval.overlaps b a)
+
+let prop_interval_hull_contains =
+  qtest "hull spans both intervals"
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.lo h <= Interval.lo a
+      && Interval.lo h <= Interval.lo b
+      && Interval.hi h >= Interval.hi a
+      && Interval.hi h >= Interval.hi b)
+
+(* --- Interval_set --- *)
+
+let test_iset_empty () =
+  Alcotest.(check bool) "empty" true (Interval_set.is_empty Interval_set.empty);
+  Alcotest.(check int) "cardinal" 0 (Interval_set.cardinal Interval_set.empty)
+
+let test_iset_add_empty_interval () =
+  let s = Interval_set.add (Interval.make 1. 1.) Interval_set.empty in
+  Alcotest.(check bool) "ignored" true (Interval_set.is_empty s)
+
+let test_iset_overlaps () =
+  let s =
+    Interval_set.of_list [ Interval.make 0. 2.; Interval.make 5. 7. ]
+  in
+  Alcotest.(check bool) "hit" true
+    (Interval_set.overlaps (Interval.make 1. 3.) s);
+  Alcotest.(check bool) "gap" false
+    (Interval_set.overlaps (Interval.make 3. 5.) s);
+  Alcotest.(check bool) "late" false
+    (Interval_set.overlaps (Interval.make 8. 9.) s)
+
+let test_iset_first_conflict () =
+  let s =
+    Interval_set.of_list [ Interval.make 5. 7.; Interval.make 0. 2. ]
+  in
+  match Interval_set.first_conflict (Interval.make 1. 6.) s with
+  | Some iv -> check_float "earliest" 0. (Interval.lo iv)
+  | None -> Alcotest.fail "expected conflict"
+
+let test_iset_free_from () =
+  let s =
+    Interval_set.of_list [ Interval.make 2. 4.; Interval.make 5. 6. ]
+  in
+  check_float "before gap too small" 6.
+    (Interval_set.free_from 1. ~duration:2. s);
+  check_float "fits in gap" 4. (Interval_set.free_from 3. ~duration:1. s);
+  check_float "already free" 0. (Interval_set.free_from 0. ~duration:2. s)
+
+let test_iset_total_duration () =
+  let s =
+    Interval_set.of_list [ Interval.make 0. 2.; Interval.make 5. 8. ]
+  in
+  check_float "sum" 5. (Interval_set.total_duration s)
+
+let prop_iset_free_from_is_free =
+  qtest "free_from result has no overlap"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 10) interval_gen)
+        (float_bound_inclusive 20.))
+    (fun (ivs, duration) ->
+      let s = Interval_set.of_list ivs in
+      let t = Interval_set.free_from 0. ~duration s in
+      (duration = 0.)
+      || not (Interval_set.overlaps (Interval.make t (t +. duration)) s))
+
+let prop_iset_elements_sorted =
+  qtest "elements sorted by start"
+    QCheck2.Gen.(list_size (int_bound 20) interval_gen)
+    (fun ivs ->
+      let sorted = Interval_set.elements (Interval_set.of_list ivs) in
+      let rec ascending = function
+        | a :: (b :: _ as rest) ->
+          Interval.lo a <= Interval.lo b && ascending rest
+        | [ _ ] | [] -> true
+      in
+      ascending sorted)
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same sequence" xs ys
+
+let test_rng_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  let xs = List.init 10 (fun _ -> Rng.int a 100) in
+  let ys = List.init 10 (fun _ -> Rng.int b 100) in
+  Alcotest.(check (list int)) "copy continues identically" xs ys
+
+let test_rng_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Rng.int_in: hi < lo")
+    (fun () -> ignore (Rng.int_in rng 3 2));
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose rng [||]))
+
+let test_rng_shuffle_multiset () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_diverges () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "independent streams" true (xs <> ys)
+
+let prop_rng_int_bounds =
+  qtest "Rng.int within bounds"
+    QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      0 <= x && x < bound)
+
+let prop_rng_int_in_bounds =
+  qtest "Rng.int_in inclusive bounds"
+    QCheck2.Gen.(triple int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let x = Rng.int_in rng lo (lo + span) in
+      lo <= x && x <= lo + span)
+
+let prop_rng_float_bounds =
+  qtest "Rng.float within bounds" QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng 3.5 in
+      0. <= x && x < 3.5)
+
+(* --- Dsu --- *)
+
+let test_dsu_basics () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Dsu.count d);
+  Dsu.union d 0 1;
+  Dsu.union d 2 3;
+  Alcotest.(check int) "after unions" 3 (Dsu.count d);
+  Alcotest.(check bool) "same 0 1" true (Dsu.same d 0 1);
+  Alcotest.(check bool) "not same 1 2" false (Dsu.same d 1 2);
+  Dsu.union d 1 2;
+  Alcotest.(check bool) "transitive" true (Dsu.same d 0 3);
+  Alcotest.(check int) "final" 2 (Dsu.count d)
+
+let test_dsu_idempotent_union () =
+  let d = Dsu.create 3 in
+  Dsu.union d 0 1;
+  Dsu.union d 0 1;
+  Alcotest.(check int) "no double count" 2 (Dsu.count d)
+
+let prop_dsu_find_canonical =
+  qtest "find returns a fixed point"
+    QCheck2.Gen.(list_size (int_bound 30) (pair (int_bound 19) (int_bound 19)))
+    (fun unions ->
+      let d = Dsu.create 20 in
+      List.iter (fun (a, b) -> Dsu.union d a b) unions;
+      List.for_all (fun i -> Dsu.find d (Dsu.find d i) = Dsu.find d i)
+        (List.init 20 Fun.id))
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  check_float "sum" 6. (Stats.sum [ 1.; 2.; 3. ]);
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "mean empty" 0. (Stats.mean []);
+  check_float "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  check_float "max" 3. (Stats.maximum [ 3.; 1.; 2. ]);
+  check_float "stddev constant" 0. (Stats.stddev [ 2.; 2.; 2. ]);
+  check_float "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  check_float "geomean empty" 0. (Stats.geomean [])
+
+let test_stats_improvement () =
+  check_float "reduction" 25.
+    (Stats.percent_improvement ~ours:75. ~baseline:100.);
+  check_float "increase" 50. (Stats.percent_increase ~ours:75. ~baseline:50.);
+  check_float "zero baseline" 0.
+    (Stats.percent_improvement ~ours:1. ~baseline:0.)
+
+let test_stats_errors () =
+  Alcotest.check_raises "min empty"
+    (Invalid_argument "Stats.minimum: empty list") (fun () ->
+      ignore (Stats.minimum []));
+  Alcotest.check_raises "max empty"
+    (Invalid_argument "Stats.maximum: empty list") (fun () ->
+      ignore (Stats.maximum []))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (Testkit.contains s "name");
+  Alcotest.(check bool) "has row" true (Testkit.contains s "alpha");
+  Alcotest.(check bool) "has rule" true (Testkit.contains s "+--")
+
+let test_table_arity () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "only-one" ]);
+  Alcotest.check_raises "align arity"
+    (Invalid_argument "Table.set_aligns: arity mismatch") (fun () ->
+      Table.set_aligns t [ Table.Left ])
+
+(* --- Json --- *)
+
+let test_json_compact () =
+  let v =
+    Json.Obj
+      [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]
+  in
+  Alcotest.(check string) "compact" {|{"a":1,"b":[true,null]}|}
+    (Json.to_string v)
+
+let test_json_escape () =
+  Alcotest.(check string) "escapes" {|"a\"b\\c\nd"|}
+    (Json.to_string (Json.String "a\"b\\c\nd"))
+
+let test_json_floats () =
+  Alcotest.(check string) "integral float" "2.0"
+    (Json.to_string (Json.Float 2.));
+  Alcotest.(check string) "fraction" "2.5" (Json.to_string (Json.Float 2.5))
+
+let test_json_indent () =
+  let v = Json.Obj [ ("x", Json.Int 1) ] in
+  let s = Json.to_string ~indent:2 v in
+  Alcotest.(check bool) "has newline" true (String.contains s '\n')
+
+let suites =
+  [
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "empty" `Quick test_pqueue_empty;
+        Alcotest.test_case "order" `Quick test_pqueue_order;
+        Alcotest.test_case "max-queue" `Quick test_pqueue_max_via_cmp;
+        Alcotest.test_case "peek" `Quick test_pqueue_peek_stable;
+        Alcotest.test_case "interleaved" `Quick test_pqueue_interleaved;
+        Alcotest.test_case "to_list" `Quick test_pqueue_to_list;
+        prop_pqueue_sorts;
+        prop_pqueue_length;
+      ] );
+    ( "util.interval",
+      [
+        Alcotest.test_case "make invalid" `Quick test_interval_make_invalid;
+        Alcotest.test_case "basics" `Quick test_interval_basics;
+        Alcotest.test_case "overlap" `Quick test_interval_overlap;
+        Alcotest.test_case "contains" `Quick test_interval_contains;
+        Alcotest.test_case "shift/hull" `Quick test_interval_shift_hull;
+        prop_interval_overlap_sym;
+        prop_interval_hull_contains;
+      ] );
+    ( "util.interval_set",
+      [
+        Alcotest.test_case "empty" `Quick test_iset_empty;
+        Alcotest.test_case "add empty interval" `Quick
+          test_iset_add_empty_interval;
+        Alcotest.test_case "overlaps" `Quick test_iset_overlaps;
+        Alcotest.test_case "first_conflict" `Quick test_iset_first_conflict;
+        Alcotest.test_case "free_from" `Quick test_iset_free_from;
+        Alcotest.test_case "total_duration" `Quick test_iset_total_duration;
+        prop_iset_free_from_is_free;
+        prop_iset_elements_sorted;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "invalid args" `Quick test_rng_invalid;
+        Alcotest.test_case "shuffle multiset" `Quick test_rng_shuffle_multiset;
+        Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+        prop_rng_int_bounds;
+        prop_rng_int_in_bounds;
+        prop_rng_float_bounds;
+      ] );
+    ( "util.dsu",
+      [
+        Alcotest.test_case "basics" `Quick test_dsu_basics;
+        Alcotest.test_case "idempotent union" `Quick test_dsu_idempotent_union;
+        prop_dsu_find_canonical;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basics" `Quick test_stats_basics;
+        Alcotest.test_case "improvement" `Quick test_stats_improvement;
+        Alcotest.test_case "errors" `Quick test_stats_errors;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "arity" `Quick test_table_arity;
+      ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "compact" `Quick test_json_compact;
+        Alcotest.test_case "escape" `Quick test_json_escape;
+        Alcotest.test_case "floats" `Quick test_json_floats;
+        Alcotest.test_case "indent" `Quick test_json_indent;
+      ] );
+  ]

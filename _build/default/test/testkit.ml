@@ -1,0 +1,20 @@
+(* Small helpers shared across test files. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+(* The seven Table-I instances, shared by scheduling/placement/routing
+   tests. *)
+let suite_instances () =
+  List.map
+    (fun (inst : Mfb_core.Suite.instance) -> (inst.graph, inst.allocation))
+    (Mfb_core.Suite.all ())
