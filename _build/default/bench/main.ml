@@ -17,21 +17,76 @@ module Stats = Mfb_util.Stats
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* --jobs N on the command line; defaults to the host's recommended
+   domain count.  Every parallel section is deterministic in the result,
+   so the flag only moves wall-clock time. *)
+let jobs =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> Mfb_util.Pool.default_jobs ()
+
 (* ------------------------------------------------------------------ *)
 (* Table I + Figures 8 and 9                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_suite config =
-  List.map
-    (fun (inst : Suite.instance) ->
-      ( Flow.run ~config inst.graph inst.allocation,
-        Baseline.run ~config inst.graph inst.allocation ))
-    (Suite.all ())
+let run_suite ?(jobs = jobs) config = Suite.run_pairs ~jobs ~config ()
 
 let table1 pairs =
   section
     "Table I: execution time, resource utilization, channel length, CPU time";
   print_string (Report.table1 pairs)
+
+let stage_timing pairs =
+  section "Per-stage wall-clock vs CPU time (our flow)";
+  print_string (Report.timing_table (List.map fst pairs))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: wall-clock of the Table-I suite vs --jobs        *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_scaling config =
+  section
+    (Printf.sprintf
+       "Parallel scaling: Table-I suite wall-clock vs worker domains \
+        (host recommends %d)"
+       (Mfb_util.Pool.default_jobs ()));
+  let measure jobs =
+    let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+    let pairs = run_suite ~jobs config in
+    (pairs, Unix.gettimeofday () -. w0, Sys.time () -. c0)
+  in
+  let _, wall1, cpu1 = measure 1 in
+  let table =
+    Table.create
+      ~headers:[ "Jobs"; "Wall (s)"; "CPU (s)"; "Speedup"; "Efficiency" ]
+  in
+  Table.set_aligns table
+    [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ];
+  let row jobs wall cpu =
+    Table.add_row table
+      [
+        string_of_int jobs;
+        Printf.sprintf "%.3f" wall;
+        Printf.sprintf "%.3f" cpu;
+        Printf.sprintf "%.2fx" (wall1 /. Float.max wall 1e-9);
+        Printf.sprintf "%.0f%%"
+          (100. *. wall1 /. (Float.max wall 1e-9 *. float_of_int jobs));
+      ]
+  in
+  row 1 wall1 cpu1;
+  List.iter
+    (fun jobs ->
+      let _, wall, cpu = measure jobs in
+      row jobs wall cpu)
+    (List.sort_uniq compare [ 2; 4; jobs ] |> List.filter (fun j -> j > 1));
+  Table.print table;
+  print_endline
+    "(identical results at every row; only the wall-clock moves)"
 
 let figures pairs =
   section "Figure 8 and Figure 9";
@@ -345,7 +400,7 @@ let multistart_study config =
           inst.allocation
       in
       let multi =
-        Mfb_schedule.Multi_start.schedule ~restarts:32
+        Mfb_schedule.Multi_start.schedule ~restarts:32 ~jobs
           ~rng:(Mfb_util.Rng.create 7) ~tc:config.tc inst.graph
           inst.allocation
       in
@@ -618,11 +673,13 @@ let () =
   Printf.printf
     "DCSA physical synthesis benchmark harness\n\
      parameters: alpha=%.1f beta=%.1f gamma=%.1f T0=%.0f Imax=%d Tmin=%.1f \
-     tc=%.1f we=%.0f\n"
+     tc=%.1f we=%.0f jobs=%d\n"
     config.sa.alpha config.beta config.gamma config.sa.t0 config.sa.i_max
-    config.sa.t_min config.tc config.we;
+    config.sa.t_min config.tc config.we jobs;
   let pairs = run_suite config in
   table1 pairs;
+  stage_timing pairs;
+  parallel_scaling config;
   figures pairs;
   ablations config;
   tc_sensitivity config;

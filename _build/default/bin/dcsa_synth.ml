@@ -14,9 +14,9 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log stage timings.")
 
-let run_one ~config ~flow (inst : Mfb_core.Suite.instance) =
+let run_one ?(jobs = 1) ~config ~flow (inst : Mfb_core.Suite.instance) =
   match flow with
-  | `Ours -> Mfb_core.Flow.run ~config inst.graph inst.allocation
+  | `Ours -> Mfb_core.Flow.run ~config ~jobs inst.graph inst.allocation
   | `Ba -> Mfb_core.Baseline.run ~config inst.graph inst.allocation
 
 let print_result ~layout ~schedule ~gantt ~json ~svg (r : Mfb_core.Result.t) =
@@ -60,7 +60,41 @@ let seed_arg =
   let doc = "Random seed for the annealing placer." in
   Arg.(value & opt int Mfb_core.Config.default.seed & info [ "seed" ] ~doc)
 
-let config_of tc seed = { Mfb_core.Config.default with tc; seed }
+(* An int converter that rejects values < 1 at parse time, so --jobs 0
+   fails like any other malformed option instead of as an uncaught
+   exception deep in the flow. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is not >= 1" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid value '%s', expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sections (annealing restarts, \
+     suite instances).  Results are bit-for-bit identical for every \
+     value; the default is the recommended domain count of the host."
+  in
+  Arg.(
+    value
+    & opt positive_int (Mfb_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let sa_restarts_arg =
+  let doc =
+    "Independent simulated-annealing restarts per placement; the lowest \
+     energy wins deterministically."
+  in
+  Arg.(
+    value
+    & opt positive_int Mfb_core.Config.default.sa_restarts
+    & info [ "sa-restarts" ] ~doc ~docv:"N")
+
+let config_of ?(sa_restarts = Mfb_core.Config.default.sa_restarts) tc seed =
+  { Mfb_core.Config.default with tc; seed; sa_restarts }
 
 let flow_arg =
   let doc = "Which flow to run: 'ours' (the paper's) or 'ba' (baseline)." in
@@ -150,15 +184,15 @@ let list_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let action verbose benchmark input alloc flow tc seed layout schedule gantt
-      json svg =
+  let action verbose benchmark input alloc flow tc seed sa_restarts jobs
+      layout schedule gantt json svg =
     setup_logs verbose;
     match resolve_instance ~benchmark ~input ~alloc with
     | Error msg -> `Error (false, msg)
     | Ok inst ->
-      let config = config_of tc seed in
+      let config = config_of ~sa_restarts tc seed in
       print_result ~layout ~schedule ~gantt ~json ~svg
-        (run_one ~config ~flow inst);
+        (run_one ~jobs ~config ~flow inst);
       `Ok ()
   in
   Cmd.v
@@ -169,8 +203,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ verbose_arg $ benchmark_arg $ input_arg $ alloc_arg
-       $ flow_arg $ tc_arg $ seed_arg $ layout_arg $ schedule_arg $ gantt_arg
-       $ json_arg $ svg_arg))
+       $ flow_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ jobs_arg
+       $ layout_arg $ schedule_arg $ gantt_arg $ json_arg $ svg_arg))
 
 (* --- compare --- *)
 
@@ -179,8 +213,13 @@ let compare_cmd =
     let doc = "Also write a standalone HTML report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "html" ] ~doc ~docv:"FILE")
   in
-  let action benchmark tc seed json html =
-    let config = config_of tc seed in
+  let timing_arg =
+    Arg.(
+      value & flag
+      & info [ "timing" ] ~doc:"Also print the per-stage wall vs CPU table.")
+  in
+  let action benchmark tc seed sa_restarts jobs json html timing =
+    let config = config_of ~sa_restarts tc seed in
     let instances =
       match benchmark with
       | None -> Ok (Mfb_core.Suite.all ())
@@ -189,12 +228,13 @@ let compare_cmd =
     match instances with
     | Error msg -> `Error (false, msg)
     | Ok instances ->
-      let pairs =
-        List.map
-          (fun inst ->
-            (run_one ~config ~flow:`Ours inst, run_one ~config ~flow:`Ba inst))
-          instances
-      in
+      let pairs = Mfb_core.Suite.run_pairs ~jobs ~config ~instances () in
+      if timing then begin
+        print_string
+          (Mfb_core.Report.timing_table
+             (List.concat_map (fun (ours, ba) -> [ ours; ba ]) pairs));
+        print_newline ()
+      end;
       if json then
         print_endline
           (Mfb_util.Json.to_string ~indent:2 (Mfb_core.Report.suite_to_json pairs))
@@ -216,10 +256,10 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:
          "Run both flows and print the Table-I style comparison (whole suite \
-          by default).")
+          by default).  Independent instances run on --jobs domains.")
     Term.(
-      ret (const action $ benchmark_arg $ tc_arg $ seed_arg $ json_arg
-         $ html_arg))
+      ret (const action $ benchmark_arg $ tc_arg $ seed_arg $ sa_restarts_arg
+         $ jobs_arg $ json_arg $ html_arg $ timing_arg))
 
 (* --- synth (random assay) --- *)
 
@@ -230,7 +270,8 @@ let synth_cmd =
   let gseed_arg =
     Arg.(value & opt int 1 & info [ "s"; "graph-seed" ] ~doc:"Generator seed.")
   in
-  let action n_ops gseed tc seed layout schedule gantt json svg =
+  let action n_ops gseed tc seed sa_restarts jobs layout schedule gantt json
+      svg =
     if n_ops < 2 then `Error (false, "need at least 2 operations")
     else begin
       let graph =
@@ -247,9 +288,9 @@ let synth_cmd =
         Mfb_component.Allocation.make ~mixers ~heaters:(max 1 (mixers / 2))
           ~filters:1 ~detectors:1
       in
-      let config = config_of tc seed in
+      let config = config_of ~sa_restarts tc seed in
       print_result ~layout ~schedule ~gantt ~json ~svg
-        (Mfb_core.Flow.run ~config graph allocation);
+        (Mfb_core.Flow.run ~config ~jobs graph allocation);
       `Ok ()
     end
   in
@@ -258,8 +299,9 @@ let synth_cmd =
        ~doc:"Generate a random bioassay and synthesise it with the DCSA flow.")
     Term.(
       ret
-        (const action $ n_ops_arg $ gseed_arg $ tc_arg $ seed_arg $ layout_arg
-       $ schedule_arg $ gantt_arg $ json_arg $ svg_arg))
+        (const action $ n_ops_arg $ gseed_arg $ tc_arg $ seed_arg
+       $ sa_restarts_arg $ jobs_arg $ layout_arg $ schedule_arg $ gantt_arg
+       $ json_arg $ svg_arg))
 
 (* --- explore (architectural synthesis) --- *)
 

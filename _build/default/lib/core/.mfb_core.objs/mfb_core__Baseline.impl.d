@@ -1,1 +1,1 @@
-lib/core/baseline.ml: Config List Mfb_bioassay Mfb_place Mfb_route Mfb_schedule Result Sys
+lib/core/baseline.ml: Config List Mfb_bioassay Mfb_place Mfb_route Mfb_schedule Result Sys Unix

@@ -1,1 +1,1 @@
-lib/core/flow.ml: Config List Logs Mfb_bioassay Mfb_place Mfb_route Mfb_schedule Mfb_util Result Sys
+lib/core/flow.ml: Config List Logs Mfb_bioassay Mfb_place Mfb_route Mfb_schedule Mfb_util Result Sys Unix

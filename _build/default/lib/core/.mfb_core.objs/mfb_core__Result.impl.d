@@ -1,1 +1,1 @@
-lib/core/result.ml: Format Mfb_place Mfb_route Mfb_schedule Mfb_util
+lib/core/result.ml: Format Mfb_place Mfb_route Mfb_schedule Mfb_util Option

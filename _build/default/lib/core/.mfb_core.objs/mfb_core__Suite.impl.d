@@ -1,1 +1,1 @@
-lib/core/suite.ml: List Mfb_bioassay Mfb_component String
+lib/core/suite.ml: Baseline Config Flow List Mfb_bioassay Mfb_component Mfb_util String

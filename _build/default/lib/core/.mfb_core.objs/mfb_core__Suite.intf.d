@@ -1,1 +1,1 @@
-lib/core/suite.mli: Mfb_bioassay Mfb_component
+lib/core/suite.mli: Config Mfb_bioassay Mfb_component Result

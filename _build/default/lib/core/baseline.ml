@@ -1,6 +1,7 @@
 let run ?(config = Config.default) ?(route_io = false) ?(flow_name = "ba")
     graph allocation =
   Config.validate config;
+  let started_wall = Unix.gettimeofday () in
   let started = Sys.time () in
   let sched =
     Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph allocation
@@ -38,4 +39,5 @@ let run ?(config = Config.default) ?(route_io = false) ?(flow_name = "ba")
     ~benchmark:(Mfb_bioassay.Seq_graph.name graph)
     ~flow:flow_name
     ~cpu_time:(Sys.time () -. started)
-    ~schedule:final_sched ~chip ~routing
+    ~wall_time:(Unix.gettimeofday () -. started_wall)
+    ~schedule:final_sched ~chip ~routing ()

@@ -4,15 +4,17 @@ type t = {
   beta : float;
   gamma : float;
   sa : Mfb_place.Annealer.params;
+  sa_restarts : int;
   seed : int;
 }
 
 let default =
   { tc = 2.0; we = 10.0; beta = 0.6; gamma = 0.4;
-    sa = Mfb_place.Annealer.default_params; seed = 42 }
+    sa = Mfb_place.Annealer.default_params; sa_restarts = 1; seed = 42 }
 
 let validate cfg =
   if cfg.tc <= 0. then invalid_arg "Config: tc must be positive";
   if cfg.we < 0. then invalid_arg "Config: we must be non-negative";
   if cfg.beta < 0. || cfg.gamma < 0. then
-    invalid_arg "Config: beta and gamma must be non-negative"
+    invalid_arg "Config: beta and gamma must be non-negative";
+  if cfg.sa_restarts < 1 then invalid_arg "Config: sa_restarts must be >= 1"

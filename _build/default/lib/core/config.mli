@@ -8,6 +8,10 @@ type t = {
   beta : float;   (** concurrency weight in Eq. 4 *)
   gamma : float;  (** wash-time weight in Eq. 4 *)
   sa : Mfb_place.Annealer.params;  (** annealing schedule *)
+  sa_restarts : int;
+      (** independent annealing restarts per placement (default 1); the
+          best energy wins deterministically regardless of how many
+          domains execute them *)
   seed : int;     (** RNG seed for the annealer *)
 }
 

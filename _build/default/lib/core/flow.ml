@@ -13,25 +13,36 @@ type router = [ `Sequential | `Negotiated ]
 let run ?(config = Config.default) ?(scheduler = `Dcsa)
     ?(placement_energy = `Connection_priority) ?(placer = `Annealing)
     ?(router = `Sequential) ?(weight_update = true) ?(route_io = false)
-    ?(flow_name = "ours") graph allocation =
+    ?(jobs = 1) ?(flow_name = "ours") graph allocation =
   Config.validate config;
-  let started = Sys.time () in
-  let stage name t0 =
+  if jobs < 1 then invalid_arg "Flow.run: jobs < 1";
+  let started_wall = Unix.gettimeofday () and started_cpu = Sys.time () in
+  let stage_times = ref [] in
+  (* [timed name f] runs stage [f], logs and records wall vs CPU time.
+     Sys.time sums the CPU of every domain, so under parallel sections
+     cpu_s > wall_s and the gap is the harvested speedup. *)
+  let timed name f =
+    let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+    let v = f () in
+    let wall_s = Unix.gettimeofday () -. w0 and cpu_s = Sys.time () -. c0 in
+    stage_times :=
+      { Result.stage = name; wall_s; cpu_s } :: !stage_times;
     Log.debug (fun m ->
-        m "%s: %s finished in %.1f ms"
+        m "%s: %s finished in %.1f ms wall (%.1f ms cpu)"
           (Mfb_bioassay.Seq_graph.name graph)
-          name
-          (1000. *. (Sys.time () -. t0)))
+          name (1000. *. wall_s) (1000. *. cpu_s));
+    v
   in
   (* Stage 1: binding and scheduling (paper Alg. 1). *)
   let sched =
-    match scheduler with
-    | `Dcsa -> Mfb_schedule.Dcsa_scheduler.schedule ~tc:config.tc graph allocation
-    | `Earliest_ready ->
-      Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph allocation
+    timed "schedule" (fun () ->
+        match scheduler with
+        | `Dcsa ->
+          Mfb_schedule.Dcsa_scheduler.schedule ~tc:config.tc graph allocation
+        | `Earliest_ready ->
+          Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph
+            allocation)
   in
-  stage "scheduling" started;
-  let t_place = Sys.time () in
   (* Stage 2: placement (paper Alg. 2, lines 1-8). *)
   let nets = Mfb_place.Net.of_schedule sched in
   let weighted =
@@ -41,28 +52,28 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
     | `Uniform -> Mfb_place.Energy.uniform nets
   in
   let chip =
-    match placer with
-    | `Annealing ->
-      let rng = Mfb_util.Rng.create config.seed in
-      (Mfb_place.Annealer.place ~params:config.sa ~rng ~nets:weighted
-         sched.components)
-        .chip
-    | `Force_directed ->
-      (Mfb_place.Force_place.place ~nets:weighted sched.components).chip
+    timed "place" (fun () ->
+        match placer with
+        | `Annealing ->
+          let rng = Mfb_util.Rng.create config.seed in
+          (Mfb_place.Annealer.anneal_multi ~params:config.sa ~jobs
+             ~restarts:config.sa_restarts ~rng ~nets:weighted
+             sched.components)
+            .chip
+        | `Force_directed ->
+          (Mfb_place.Force_place.place ~nets:weighted sched.components).chip)
   in
-  stage "placement" t_place;
-  let t_route = Sys.time () in
   (* Stage 3: conflict-aware routing (paper Alg. 2, lines 9-18). *)
   let routing =
-    match router with
-    | `Sequential ->
-      Mfb_route.Router.route ~weight_update ~route_io ~we:config.we
-        ~tc:config.tc chip sched
-    | `Negotiated ->
-      Mfb_route.Negotiated_router.route ~weight_update ~route_io
-        ~we:config.we ~tc:config.tc chip sched
+    timed "route" (fun () ->
+        match router with
+        | `Sequential ->
+          Mfb_route.Router.route ~weight_update ~route_io ~we:config.we
+            ~tc:config.tc chip sched
+        | `Negotiated ->
+          Mfb_route.Negotiated_router.route ~weight_update ~route_io
+            ~we:config.we ~tc:config.tc chip sched)
   in
-  stage "routing" t_route;
   Log.info (fun m ->
       m "%s/%s: %d transports, %d unresolved, %.0f mm of channels"
         (Mfb_bioassay.Seq_graph.name graph)
@@ -94,5 +105,7 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
   Result.of_stages
     ~benchmark:(Mfb_bioassay.Seq_graph.name graph)
     ~flow:flow_name
-    ~cpu_time:(Sys.time () -. started)
-    ~schedule:final_sched ~chip ~routing
+    ~cpu_time:(Sys.time () -. started_cpu)
+    ~wall_time:(Unix.gettimeofday () -. started_wall)
+    ~stage_times:(List.rev !stage_times)
+    ~schedule:final_sched ~chip ~routing ()

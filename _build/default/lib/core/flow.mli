@@ -28,11 +28,20 @@ val run :
   ?router:router ->
   ?weight_update:bool ->
   ?route_io:bool ->
+  ?jobs:int ->
   ?flow_name:string ->
   Mfb_bioassay.Seq_graph.t ->
   Mfb_component.Allocation.t ->
   Result.t
 (** [run g alloc] synthesises the full physical design with the paper's
     parameters.  [weight_update:false] is the ablation A3; [route_io] (default false)
-    additionally routes inlet dispensing and waste runs (the I/O study).  The reported
-    [cpu_time] is the process CPU time consumed by the three stages. *)
+    additionally routes inlet dispensing and waste runs (the I/O study).
+
+    [jobs] (default 1) bounds the worker domains used by the parallel
+    sections inside the flow (currently the [config.sa_restarts]
+    annealing restarts).  The synthesis result is bit-for-bit identical
+    for every [jobs] value — parallelism follows the split-then-reduce
+    determinism rule (see DESIGN.md "Parallel execution model").
+
+    The result carries both process CPU time and elapsed wall-clock
+    time, plus a per-stage breakdown in [stage_times]. *)

@@ -101,6 +101,34 @@ let fig9 pairs =
     ~value:(fun r -> r.Result.channel_wash_time)
     pairs
 
+let timing_table results =
+  let table =
+    Table.create
+      ~headers:
+        [ "Benchmark"; "Flow"; "Stage"; "Wall (s)"; "CPU (s)"; "CPU/Wall" ]
+  in
+  Table.set_aligns table
+    [ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right;
+      Table.Right ];
+  let row benchmark flow stage ~wall ~cpu =
+    Table.add_row table
+      [
+        benchmark; flow; stage;
+        Printf.sprintf "%.3f" wall;
+        Printf.sprintf "%.3f" cpu;
+        (if wall > 1e-9 then Printf.sprintf "%.2fx" (cpu /. wall) else "-");
+      ]
+  in
+  List.iter
+    (fun (r : Result.t) ->
+      List.iter
+        (fun (st : Result.stage_time) ->
+          row r.benchmark r.flow st.stage ~wall:st.wall_s ~cpu:st.cpu_s)
+        r.stage_times;
+      row r.benchmark r.flow "total" ~wall:r.wall_time ~cpu:r.cpu_time)
+    results;
+  Table.render table
+
 let suite_to_json pairs =
   Mfb_util.Json.List
     (List.concat_map

@@ -19,4 +19,9 @@ val figure :
 val fig8 : (Result.t * Result.t) list -> string
 val fig9 : (Result.t * Result.t) list -> string
 
+val timing_table : Result.t list -> string
+(** Per-stage wall-clock vs CPU time of each result (plus a total row).
+    On a multi-core host with [--jobs N] the CPU/Wall ratio of a
+    parallel stage shows its effective speedup. *)
+
 val suite_to_json : (Result.t * Result.t) list -> Mfb_util.Json.t

@@ -1,5 +1,7 @@
 module Metrics = Mfb_schedule.Metrics
 
+type stage_time = { stage : string; wall_s : float; cpu_s : float }
+
 type t = {
   benchmark : string;
   flow : string;
@@ -13,9 +15,12 @@ type t = {
   channel_wash_time : float;
   component_wash_time : float;
   cpu_time : float;
+  wall_time : float;
+  stage_times : stage_time list;
 }
 
-let of_stages ~benchmark ~flow ~cpu_time ~schedule ~chip ~routing =
+let of_stages ~benchmark ~flow ~cpu_time ?wall_time ?(stage_times = [])
+    ~schedule ~chip ~routing () =
   {
     benchmark; flow; schedule; chip; routing;
     execution_time = Metrics.completion_time schedule;
@@ -25,6 +30,8 @@ let of_stages ~benchmark ~flow ~cpu_time ~schedule ~chip ~routing =
     channel_wash_time = routing.Mfb_route.Routed.total_channel_wash;
     component_wash_time = Metrics.total_component_wash_time schedule;
     cpu_time;
+    wall_time = Option.value wall_time ~default:cpu_time;
+    stage_times;
   }
 
 let to_json r =
@@ -39,6 +46,7 @@ let to_json r =
       ("channel_wash_time_s", Mfb_util.Json.Float r.channel_wash_time);
       ("component_wash_time_s", Mfb_util.Json.Float r.component_wash_time);
       ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
+      ("wall_time_s", Mfb_util.Json.Float r.wall_time);
     ]
 
 let pp_summary ppf r =

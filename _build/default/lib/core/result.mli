@@ -1,6 +1,15 @@
 (** End-to-end physical-synthesis result: the quantities reported in the
     paper's Table I and Figs. 8-9 for one benchmark and one flow. *)
 
+type stage_time = {
+  stage : string;   (** ["schedule"], ["place"] or ["route"] *)
+  wall_s : float;   (** elapsed wall-clock seconds *)
+  cpu_s : float;    (** process CPU seconds (summed over all domains) *)
+}
+(** Per-stage timing sample.  Under [--jobs N] parallelism the CPU time
+    exceeds the wall time on a multi-core host; the ratio is the
+    effective speedup of the stage. *)
+
 type t = {
   benchmark : string;
   flow : string;                     (** ["ours"] or ["ba"] (or ablations) *)
@@ -14,17 +23,23 @@ type t = {
   channel_wash_time : float;         (** Fig. 9 "total wash time of flow channels" *)
   component_wash_time : float;       (** auxiliary: component washes *)
   cpu_time : float;                  (** Table I "CPU time (s)" *)
+  wall_time : float;                 (** elapsed wall-clock time (s) *)
+  stage_times : stage_time list;     (** per-stage wall vs CPU breakdown *)
 }
 
 val of_stages :
   benchmark:string ->
   flow:string ->
   cpu_time:float ->
+  ?wall_time:float ->
+  ?stage_times:stage_time list ->
   schedule:Mfb_schedule.Types.t ->
   chip:Mfb_place.Chip.t ->
   routing:Mfb_route.Routed.result ->
+  unit ->
   t
-(** Derive all scalar metrics from the three stage outputs. *)
+(** Derive all scalar metrics from the three stage outputs.
+    [wall_time] defaults to [cpu_time]; [stage_times] to [[]]. *)
 
 val to_json : t -> Mfb_util.Json.t
 (** Scalar metrics only (no schedule/layout dump). *)

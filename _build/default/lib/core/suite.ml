@@ -22,6 +22,30 @@ let names =
   [ "PCR"; "IVD"; "CPA"; "Synthetic1"; "Synthetic2"; "Synthetic3";
     "Synthetic4" ]
 
+(* Each (instance, flow) pair is an independent synthesis task, so the
+   whole Table-I evaluation fans out over the pool: 14 tasks for the
+   7-instance suite.  Results are re-paired in suite order, which the
+   pool guarantees regardless of the worker count. *)
+let run_pairs ?(jobs = 1) ?(config = Config.default) ?(instances = all ()) ()
+    =
+  let tasks =
+    List.concat_map (fun inst -> [ (inst, `Ours); (inst, `Ba) ]) instances
+  in
+  let results =
+    Mfb_util.Pool.map ~jobs
+      (fun (inst, flow) ->
+        match flow with
+        | `Ours -> Flow.run ~config inst.graph inst.allocation
+        | `Ba -> Baseline.run ~config inst.graph inst.allocation)
+      tasks
+  in
+  let rec pair = function
+    | ours :: ba :: rest -> (ours, ba) :: pair rest
+    | [] -> []
+    | [ _ ] -> assert false
+  in
+  pair results
+
 let find name =
   let lower = String.lowercase_ascii name in
   List.find_opt

@@ -29,6 +29,18 @@ val synthetic4 : unit -> instance
 val all : unit -> instance list
 (** In Table-I row order. *)
 
+val run_pairs :
+  ?jobs:int ->
+  ?config:Config.t ->
+  ?instances:instance list ->
+  unit ->
+  (Result.t * Result.t) list
+(** [run_pairs ~jobs ()] synthesises every instance (default: the whole
+    suite) with both the paper's flow and the baseline, running the
+    independent (instance, flow) tasks on up to [jobs] domains
+    (default 1).  The returned (ours, baseline) pairs are in instance
+    order and bit-for-bit independent of [jobs]. *)
+
 val find : string -> instance option
 (** Case-insensitive lookup by benchmark name. *)
 

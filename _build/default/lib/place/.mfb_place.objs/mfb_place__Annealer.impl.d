@@ -1,1 +1,1 @@
-lib/place/annealer.ml: Chip Energy Mfb_util Moves
+lib/place/annealer.ml: Array Chip Energy Mfb_util Moves

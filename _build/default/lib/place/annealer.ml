@@ -69,3 +69,23 @@ let place ?(params = default_params) ~rng ~nets components =
   in
   { chip; energy; initial_energy; accepted = !accepted;
     attempted = !attempted }
+
+(* Parallel restarts under the split-then-reduce discipline: child RNGs
+   are derived from [rng] before dispatch and the winner is the lowest
+   energy in fixed restart-index order, so the outcome is independent of
+   [jobs].  A single restart keeps drawing from [rng] directly, which
+   preserves the historical single-run stream bit-for-bit. *)
+let anneal_multi ?(params = default_params) ?(jobs = 1) ?(restarts = 1) ~rng
+    ~nets components =
+  if restarts < 1 then invalid_arg "Annealer.anneal_multi: restarts < 1";
+  if restarts = 1 then place ~params ~rng ~nets components
+  else begin
+    let rngs = Mfb_util.Rng.split_n rng restarts in
+    let results =
+      Mfb_util.Pool.init ~jobs restarts (fun i ->
+          place ~params ~rng:rngs.(i) ~nets components)
+    in
+    Array.fold_left
+      (fun best r -> if r.energy < best.energy then r else best)
+      results.(0) results
+  end

@@ -42,3 +42,24 @@ val place :
     packed optimum).
     @raise Invalid_argument on non-positive temperatures, [alpha]
     outside (0, 1), or [i_max < 1]. *)
+
+val anneal_multi :
+  ?params:params ->
+  ?jobs:int ->
+  ?restarts:int ->
+  rng:Mfb_util.Rng.t ->
+  nets:Energy.weighted_net list ->
+  Mfb_component.Component.t array ->
+  result
+(** [anneal_multi ~restarts ~rng ~nets components] runs [restarts]
+    (default 1) independent annealing walks and returns the one with the
+    lowest energy (ties broken towards the lower restart index).
+
+    Restarts execute on up to [jobs] domains (default 1: sequential).
+    Each walk draws from its own generator split off [rng] before
+    dispatch, and the reduction scans restarts in index order, so the
+    result is bit-for-bit identical for every [jobs] value.  With
+    [restarts = 1] the walk consumes [rng] directly and is identical to
+    {!place}.
+    @raise Invalid_argument if [restarts < 1] or [jobs < 1] (or on the
+    {!place} parameter errors). *)

@@ -4,27 +4,39 @@ type t = {
   improved_over_first : float;
 }
 
-let schedule ?(restarts = 16) ?(noise = 0.25) ~rng ~tc graph allocation =
+(* Split-then-reduce: every perturbed restart owns an RNG derived from
+   the master generator *before* dispatch, and the best candidate is
+   chosen by a fixed-order scan over the restart indices.  Both sides of
+   the discipline make the result a pure function of (seed, restarts,
+   noise) — the [jobs] count only decides how many domains execute the
+   restarts. *)
+let schedule ?(restarts = 16) ?(noise = 0.25) ?(jobs = 1) ~rng ~tc graph
+    allocation =
   if restarts < 1 then invalid_arg "Multi_start.schedule: restarts < 1";
   if noise < 0. then invalid_arg "Multi_start.schedule: negative noise";
   let base = Mfb_bioassay.Seq_graph.priorities graph ~tc in
-  let first = Engine.run ~case1:true ~tc graph allocation in
-  let best = ref first in
-  for _ = 2 to restarts do
-    let perturbed =
-      Array.map
-        (fun p ->
-          p *. (1. -. noise +. Mfb_util.Rng.float rng (2. *. noise)))
-        base
-    in
-    let candidate =
+  let rngs = Mfb_util.Rng.split_n rng (restarts - 1) in
+  let restart i =
+    if i = 0 then Engine.run ~case1:true ~tc graph allocation
+    else begin
+      let rng = rngs.(i - 1) in
+      let perturbed =
+        Array.map
+          (fun p -> p *. (1. -. noise +. Mfb_util.Rng.float rng (2. *. noise)))
+          base
+      in
       Engine.run ~priorities:perturbed ~case1:true ~tc graph allocation
-    in
-    if candidate.makespan < !best.Types.makespan -. 1e-9 then
-      best := candidate
+    end
+  in
+  let candidates = Mfb_util.Pool.init ~jobs restarts restart in
+  let first = candidates.(0) in
+  let best = ref first in
+  for i = 1 to restarts - 1 do
+    if candidates.(i).Types.makespan < !best.Types.makespan -. 1e-9 then
+      best := candidates.(i)
   done;
   {
     schedule = !best;
     restarts;
-    improved_over_first = first.makespan -. !best.Types.makespan;
+    improved_over_first = first.Types.makespan -. !best.Types.makespan;
   }

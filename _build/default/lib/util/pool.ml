@@ -1,0 +1,49 @@
+(* Work-stealing fan-out over OCaml 5 domains.
+
+   Tasks are indexed 0..n-1 and handed out through one atomic cursor;
+   each worker loops fetch-and-add until the range is exhausted.  Every
+   result (or exception) lands in the slot of its task index, so the
+   outcome is independent of how the domains interleave. *)
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* Outcome slots are written by exactly one worker each (distinct array
+   elements), then read after every domain has been joined — no lock is
+   needed beyond the join itself. *)
+type 'a outcome = Pending | Done of 'a | Failed of exn
+
+let run_indexed ~jobs n f =
+  let slots = Array.make n Pending in
+  let cursor = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        (slots.(i) <- (match f i with v -> Done v | exception e -> Failed e));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  Array.iter Domain.join helpers;
+  (* Deterministic failure: the lowest task index wins, not the first
+     domain to crash. *)
+  Array.iter (function Failed e -> raise e | Pending | Done _ -> ()) slots;
+  Array.map
+    (function Done v -> v | Pending | Failed _ -> assert false)
+    slots
+
+let init ?(jobs = 1) n f =
+  if jobs < 1 then invalid_arg "Pool.init: jobs < 1";
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then Array.init n f
+  else run_indexed ~jobs n f
+
+let map_array ?jobs f xs = init ?jobs (Array.length xs) (fun i -> f xs.(i))
+
+let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))

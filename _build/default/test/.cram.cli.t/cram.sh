@@ -10,3 +10,13 @@
   > ASSAY
   $ ../../bin/dcsa_synth.exe run -i bad.assay 2>&1 | head -1
   $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 2>/dev/null | cut -d' ' -f1
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
+  >   --sa-restarts 4 --jobs 1 --json | grep -vE '(cpu|wall)_time_s' > jobs1.json
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
+  >   --sa-restarts 4 --jobs 2 --json | grep -vE '(cpu|wall)_time_s' > jobs2.json
+  $ diff jobs1.json jobs2.json
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
+  >   --sa-restarts 4 --jobs 1 --layout --schedule --gantt 2>/dev/null | tail -n +2 > full1.txt
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
+  >   --sa-restarts 4 --jobs 2 --layout --schedule --gantt 2>/dev/null | tail -n +2 > full2.txt
+  $ diff full1.txt full2.txt

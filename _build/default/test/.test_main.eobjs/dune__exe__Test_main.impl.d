@@ -1,1 +1,1 @@
-test/test_main.ml: Alcotest Test_bioassay Test_component Test_control Test_core Test_place Test_route Test_schedule Test_sim Test_util
+test/test_main.ml: Alcotest Array List Mfb_util Printf Test_bioassay Test_component Test_control Test_core Test_parallel Test_place Test_route Test_schedule Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Hashtbl List Mfb_bioassay Mfb_component Mfb_core Mfb_place Mfb_schedule Mfb_util QCheck2 QCheck_alcotest Random

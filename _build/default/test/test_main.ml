@@ -1,7 +1,69 @@
-(* Entry point aggregating all per-library suites. *)
+(* Entry point aggregating all per-library suites, plus direct tests of
+   the Domain worker pool that everything parallel is built on. *)
+
+module Pool = Mfb_util.Pool
+
+exception Boom of int
+
+let test_pool_map_preserves_order () =
+  let xs = List.init 100 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map order at jobs=%d" jobs)
+        (List.map (fun x -> x * x) xs)
+        (Pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_init_matches_array_init () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "init at jobs=%d" jobs)
+        (Array.init 33 (fun i -> (i * 7) mod 13))
+        (Pool.init ~jobs 33 (fun i -> (i * 7) mod 13)))
+    [ 1; 3; 8 ]
+
+let test_pool_propagates_worker_exception () =
+  (* The failure must escape the worker domains, and deterministically:
+     the lowest failing index wins no matter which domain hit it. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "raise at jobs=%d" jobs)
+        (Boom 17)
+        (fun () ->
+          ignore
+            (Pool.init ~jobs 64 (fun i ->
+                 if i >= 17 then raise (Boom i) else i))))
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_validation () =
+  Alcotest.(check (list int)) "empty map" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check int) "empty init" 0 (Array.length (Pool.init ~jobs:4 0 succ));
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Pool.init: jobs < 1")
+    (fun () -> ignore (Pool.init ~jobs:0 3 succ));
+  Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1);
+  Alcotest.(check bool) "default_jobs <= 8" true (Pool.default_jobs () <= 8)
+
+let pool_suites =
+  [
+    ( "util.pool",
+      [
+        Alcotest.test_case "map preserves input order" `Quick
+          test_pool_map_preserves_order;
+        Alcotest.test_case "init matches Array.init" `Quick
+          test_pool_init_matches_array_init;
+        Alcotest.test_case "propagates worker exceptions" `Quick
+          test_pool_propagates_worker_exception;
+        Alcotest.test_case "empty inputs and validation" `Quick
+          test_pool_empty_and_validation;
+      ] );
+  ]
 
 let () =
   Alcotest.run "microflow"
-    (Test_util.suites @ Test_bioassay.suites @ Test_component.suites
-   @ Test_schedule.suites @ Test_place.suites @ Test_route.suites
-   @ Test_core.suites @ Test_control.suites @ Test_sim.suites)
+    (pool_suites @ Test_util.suites @ Test_bioassay.suites
+   @ Test_component.suites @ Test_schedule.suites @ Test_place.suites
+   @ Test_route.suites @ Test_core.suites @ Test_control.suites
+   @ Test_sim.suites @ Test_parallel.suites)

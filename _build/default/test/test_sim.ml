@@ -81,6 +81,26 @@ let test_frame_rendering () =
   Alcotest.(check bool) "all idle at the end" true (Testkit.contains fin "_");
   Alcotest.(check bool) "no fluid at the end" false (Testkit.contains fin "*")
 
+let test_replay_deterministic_across_jobs () =
+  (* Same seed, different worker counts: the replayed movie must be
+     frame-for-frame identical — the simulator sees the same schedule,
+     chip and routing no matter how many domains synthesised them. *)
+  let g, alloc = List.nth (Testkit.suite_instances ()) 1 in
+  let config = { Mfb_core.Config.default with sa_restarts = 3 } in
+  let movie jobs =
+    let r = Mfb_core.Flow.run ~config ~jobs g alloc in
+    let sim =
+      Replay.create ~tc ~chip:r.chip ~schedule:r.schedule ~routing:r.routing
+    in
+    let events = Replay.events sim in
+    let frames = List.map (Replay.frame sim) events in
+    (events, frames)
+  in
+  let events1, frames1 = movie 1 in
+  let events2, frames2 = movie 2 in
+  Alcotest.(check (list (float 0.))) "event times identical" events1 events2;
+  Alcotest.(check (list string)) "frames identical" frames1 frames2
+
 let test_replay_detects_corruption () =
   (* Inject an overlapping occupation by doubling a task with a different
      fluid: the replay must notice. *)
@@ -115,6 +135,8 @@ let suites =
         Alcotest.test_case "fluid appears during transport" `Quick
           test_fluid_appears_during_transport;
         Alcotest.test_case "frame rendering" `Quick test_frame_rendering;
+        Alcotest.test_case "deterministic across jobs" `Quick
+          test_replay_deterministic_across_jobs;
         Alcotest.test_case "detects corruption" `Quick
           test_replay_detects_corruption;
       ] );

@@ -18,6 +18,7 @@ type t = {
 val schedule :
   ?restarts:int ->
   ?noise:float ->
+  ?jobs:int ->
   rng:Mfb_util.Rng.t ->
   tc:float ->
   Mfb_bioassay.Seq_graph.t ->
@@ -26,4 +27,11 @@ val schedule :
 (** [schedule ~rng ~tc g alloc] runs [restarts] (default 16) engine
     passes; each perturbed pass scales every priority by a uniform factor
     in [\[1 - noise, 1 + noise\]] (default [noise = 0.25]).
-    @raise Invalid_argument if [restarts < 1] or [noise < 0]. *)
+
+    Restarts run on up to [jobs] domains (default 1: sequential).  Each
+    perturbed restart draws from its own generator, split off [rng]
+    before dispatch ({!Mfb_util.Rng.split_n}), and the winner is reduced
+    in fixed restart-index order, so the result is bit-for-bit identical
+    for every [jobs] value.
+    @raise Invalid_argument if [restarts < 1], [noise < 0] or
+    [jobs < 1]. *)

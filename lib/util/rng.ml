@@ -45,3 +45,7 @@ let shuffle rng arr =
   done
 
 let split rng = { state = next_int64 rng }
+
+let split_n rng n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split rng)
