@@ -30,6 +30,34 @@ let jobs =
   | Some j when j >= 1 -> j
   | Some _ | None -> Mfb_util.Pool.default_jobs ()
 
+(* --trace FILE records telemetry over the whole harness run and writes
+   a Chrome trace_event JSON (open in Perfetto; validate with
+   'dcsa-synth trace FILE'). *)
+let trace_file =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--trace" then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 0
+
+let trace_sink =
+  match trace_file with
+  | None -> None
+  | Some _ ->
+    let sink = Mfb_util.Telemetry.make_sink () in
+    Mfb_util.Telemetry.install sink;
+    Some sink
+
+let write_trace () =
+  match trace_file, trace_sink with
+  | Some path, Some sink ->
+    Out_channel.with_open_text path (fun oc ->
+        Mfb_util.Json.to_channel ~indent:1 oc
+          (Mfb_util.Telemetry.to_chrome_json ~process_name:"dcsa-bench" sink));
+    Printf.eprintf "wrote %s\n" path
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Table I + Figures 8 and 9                                          *)
 (* ------------------------------------------------------------------ *)
@@ -692,4 +720,5 @@ let () =
   allocation_exploration config;
   io_study config;
   physical_validation config pairs;
-  if not (Array.mem "--no-bechamel" Sys.argv) then run_bechamel config pairs
+  if not (Array.mem "--no-bechamel" Sys.argv) then run_bechamel config pairs;
+  write_trace ()

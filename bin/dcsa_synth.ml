@@ -2,28 +2,72 @@
 
    dcsa-synth list
    dcsa-synth run -b CPA [--flow ours|ba] [--layout] [--schedule] [--json]
+   dcsa-synth run -b CPA --trace t.json --metrics --timing
    dcsa-synth compare [-b CPA]      # Table I (one row or the whole suite)
-   dcsa-synth synth -n 40 -s 7      # synthesise a random assay *)
+   dcsa-synth synth -n 40 -s 7      # synthesise a random assay
+   dcsa-synth trace t.json          # validate/summarise a Chrome trace *)
 
 open Cmdliner
+module Telemetry = Mfb_util.Telemetry
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log stage timings.")
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log stage timings and telemetry span open/close events.")
+
+(* Telemetry session around one command: a sink is installed whenever
+   any observability output is requested ([-v] included, so span
+   open/close reach the debug log); the Chrome trace is written after
+   the command body finishes. *)
+let with_telemetry ~verbose ~trace ~metrics f =
+  if not (verbose || metrics || trace <> None) then f ()
+  else begin
+    let sink = Telemetry.make_sink () in
+    Telemetry.install sink;
+    if verbose then
+      Telemetry.set_span_hook
+        (Some
+           (fun dir ~depth name ->
+             Logs.debug (fun m ->
+                 m "span%s %s%s"
+                   (match dir with `Open -> ">" | `Close -> "<")
+                   (String.make (2 * depth) ' ')
+                   name)));
+    let v = f () in
+    (match trace with
+     | Some path ->
+       Out_channel.with_open_text path (fun oc ->
+           Mfb_util.Json.to_channel ~indent:1 oc
+             (Telemetry.to_chrome_json sink));
+       Printf.eprintf "wrote %s\n" path
+     | None -> ());
+    v
+  end
 
 let run_one ?(jobs = 1) ~config ~flow (inst : Mfb_core.Suite.instance) =
   match flow with
   | `Ours -> Mfb_core.Flow.run ~config ~jobs inst.graph inst.allocation
   | `Ba -> Mfb_core.Baseline.run ~config inst.graph inst.allocation
 
-let print_result ~layout ~schedule ~gantt ~json ~svg (r : Mfb_core.Result.t) =
+let print_result ?(metrics = false) ?(timing = false) ~layout ~schedule
+    ~gantt ~json ~svg (r : Mfb_core.Result.t) =
   if json then
     print_endline (Mfb_util.Json.to_string ~indent:2 (Mfb_core.Result.to_json r))
   else begin
     Format.printf "%a@." Mfb_core.Result.pp_summary r;
+    if timing then begin
+      print_newline ();
+      print_string (Mfb_core.Report.timing_table [ r ])
+    end;
+    if metrics then begin
+      print_newline ();
+      print_string (Mfb_core.Report.metrics_table [ r ])
+    end;
     if schedule then begin
       Format.printf "@.%a@." Mfb_schedule.Types.pp r.schedule;
       List.iter
@@ -119,6 +163,27 @@ let svg_arg =
   let doc = "Write the chip layout to $(docv) as SVG." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~doc ~docv:"FILE")
 
+let trace_arg =
+  let doc =
+    "Record telemetry and write a Chrome trace_event JSON file to $(docv) \
+     (load it in Perfetto or chrome://tracing, or check it with \
+     'dcsa-synth trace $(docv)')."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Record telemetry and print the aggregated metrics table (with \
+           --json the aggregates land in the result's 'metrics' field).")
+
+let timing_arg =
+  Arg.(
+    value & flag
+    & info [ "timing" ] ~doc:"Also print the per-stage wall vs CPU table.")
+
 let input_arg =
   let doc = "Load the bioassay from an assay file instead of a built-in \
              benchmark (see lib/bioassay/assay_file.mli for the format)." in
@@ -185,14 +250,15 @@ let list_cmd =
 
 let run_cmd =
   let action verbose benchmark input alloc flow tc seed sa_restarts jobs
-      layout schedule gantt json svg =
+      layout schedule gantt json svg trace metrics timing =
     setup_logs verbose;
     match resolve_instance ~benchmark ~input ~alloc with
     | Error msg -> `Error (false, msg)
     | Ok inst ->
       let config = config_of ~sa_restarts tc seed in
-      print_result ~layout ~schedule ~gantt ~json ~svg
-        (run_one ~jobs ~config ~flow inst);
+      with_telemetry ~verbose ~trace ~metrics (fun () ->
+          print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
+            (run_one ~jobs ~config ~flow inst));
       `Ok ()
   in
   Cmd.v
@@ -204,7 +270,8 @@ let run_cmd =
       ret
         (const action $ verbose_arg $ benchmark_arg $ input_arg $ alloc_arg
        $ flow_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ jobs_arg
-       $ layout_arg $ schedule_arg $ gantt_arg $ json_arg $ svg_arg))
+       $ layout_arg $ schedule_arg $ gantt_arg $ json_arg $ svg_arg
+       $ trace_arg $ metrics_arg $ timing_arg))
 
 (* --- compare --- *)
 
@@ -213,12 +280,9 @@ let compare_cmd =
     let doc = "Also write a standalone HTML report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "html" ] ~doc ~docv:"FILE")
   in
-  let timing_arg =
-    Arg.(
-      value & flag
-      & info [ "timing" ] ~doc:"Also print the per-stage wall vs CPU table.")
-  in
-  let action benchmark tc seed sa_restarts jobs json html timing =
+  let action verbose benchmark tc seed sa_restarts jobs json html timing
+      trace metrics =
+    setup_logs verbose;
     let config = config_of ~sa_restarts tc seed in
     let instances =
       match benchmark with
@@ -228,28 +292,35 @@ let compare_cmd =
     match instances with
     | Error msg -> `Error (false, msg)
     | Ok instances ->
-      let pairs = Mfb_core.Suite.run_pairs ~jobs ~config ~instances () in
-      if timing then begin
-        print_string
-          (Mfb_core.Report.timing_table
-             (List.concat_map (fun (ours, ba) -> [ ours; ba ]) pairs));
-        print_newline ()
-      end;
-      if json then
-        print_endline
-          (Mfb_util.Json.to_string ~indent:2 (Mfb_core.Report.suite_to_json pairs))
-      else begin
-        print_string (Mfb_core.Report.table1 pairs);
-        print_newline ();
-        print_string (Mfb_core.Report.fig8 pairs);
-        print_newline ();
-        print_string (Mfb_core.Report.fig9 pairs)
-      end;
-      (match html with
-       | Some path ->
-         Mfb_core.Report_html.to_file path pairs;
-         Printf.eprintf "wrote %s\n" path
-       | None -> ());
+      with_telemetry ~verbose ~trace ~metrics (fun () ->
+          let pairs = Mfb_core.Suite.run_pairs ~jobs ~config ~instances () in
+          let results =
+            List.concat_map (fun (ours, ba) -> [ ours; ba ]) pairs
+          in
+          if timing then begin
+            print_string (Mfb_core.Report.timing_table results);
+            print_newline ()
+          end;
+          if metrics && not json then begin
+            print_string (Mfb_core.Report.metrics_table results);
+            print_newline ()
+          end;
+          if json then
+            print_endline
+              (Mfb_util.Json.to_string ~indent:2
+                 (Mfb_core.Report.suite_to_json pairs))
+          else begin
+            print_string (Mfb_core.Report.table1 pairs);
+            print_newline ();
+            print_string (Mfb_core.Report.fig8 pairs);
+            print_newline ();
+            print_string (Mfb_core.Report.fig9 pairs)
+          end;
+          match html with
+          | Some path ->
+            Mfb_core.Report_html.to_file path pairs;
+            Printf.eprintf "wrote %s\n" path
+          | None -> ());
       `Ok ()
   in
   Cmd.v
@@ -258,8 +329,9 @@ let compare_cmd =
          "Run both flows and print the Table-I style comparison (whole suite \
           by default).  Independent instances run on --jobs domains.")
     Term.(
-      ret (const action $ benchmark_arg $ tc_arg $ seed_arg $ sa_restarts_arg
-         $ jobs_arg $ json_arg $ html_arg $ timing_arg))
+      ret (const action $ verbose_arg $ benchmark_arg $ tc_arg $ seed_arg
+         $ sa_restarts_arg $ jobs_arg $ json_arg $ html_arg $ timing_arg
+         $ trace_arg $ metrics_arg))
 
 (* --- synth (random assay) --- *)
 
@@ -270,8 +342,9 @@ let synth_cmd =
   let gseed_arg =
     Arg.(value & opt int 1 & info [ "s"; "graph-seed" ] ~doc:"Generator seed.")
   in
-  let action n_ops gseed tc seed sa_restarts jobs layout schedule gantt json
-      svg =
+  let action verbose n_ops gseed tc seed sa_restarts jobs layout schedule
+      gantt json svg trace metrics timing =
+    setup_logs verbose;
     if n_ops < 2 then `Error (false, "need at least 2 operations")
     else begin
       let graph =
@@ -289,8 +362,9 @@ let synth_cmd =
           ~filters:1 ~detectors:1
       in
       let config = config_of ~sa_restarts tc seed in
-      print_result ~layout ~schedule ~gantt ~json ~svg
-        (Mfb_core.Flow.run ~config ~jobs graph allocation);
+      with_telemetry ~verbose ~trace ~metrics (fun () ->
+          print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
+            (Mfb_core.Flow.run ~config ~jobs graph allocation));
       `Ok ()
     end
   in
@@ -299,9 +373,10 @@ let synth_cmd =
        ~doc:"Generate a random bioassay and synthesise it with the DCSA flow.")
     Term.(
       ret
-        (const action $ n_ops_arg $ gseed_arg $ tc_arg $ seed_arg
-       $ sa_restarts_arg $ jobs_arg $ layout_arg $ schedule_arg $ gantt_arg
-       $ json_arg $ svg_arg))
+        (const action $ verbose_arg $ n_ops_arg $ gseed_arg $ tc_arg
+       $ seed_arg $ sa_restarts_arg $ jobs_arg $ layout_arg $ schedule_arg
+       $ gantt_arg $ json_arg $ svg_arg $ trace_arg $ metrics_arg
+       $ timing_arg))
 
 (* --- explore (architectural synthesis) --- *)
 
@@ -450,6 +525,74 @@ let control_cmd =
           figures.")
     Term.(ret (const action $ benchmark_arg $ tc_arg $ seed_arg))
 
+(* --- trace (validate / summarise a Chrome trace_event file) --- *)
+
+let trace_cmd =
+  let file_arg =
+    let doc = "Chrome trace_event JSON file written by --trace." in
+    Arg.(required & pos 0 (some file) None & info [] ~doc ~docv:"FILE")
+  in
+  let action path =
+    let module J = Mfb_util.Json in
+    let contents = In_channel.with_open_text path In_channel.input_all in
+    match J.of_string contents with
+    | Error e -> `Error (false, Printf.sprintf "%s: invalid JSON (%s)" path e)
+    | Ok doc ->
+      (match J.member "traceEvents" doc with
+       | Some (J.List events) ->
+         let spans = ref 0 and samples = ref 0 and instants = ref 0 in
+         let meta = ref 0 and bad = ref 0 in
+         let tids = Hashtbl.create 16 and cats = Hashtbl.create 16 in
+         List.iter
+           (fun ev ->
+             match J.member "ph" ev, J.member "name" ev with
+             | Some (J.String ph), Some (J.String _) ->
+               (match J.member "tid" ev with
+                | Some (J.Int tid) -> Hashtbl.replace tids tid ()
+                | _ -> ());
+               (match J.member "cat" ev with
+                | Some (J.String c) -> Hashtbl.replace cats c ()
+                | _ -> ());
+               (match ph with
+                | "X" ->
+                  (* Complete events must carry ts and dur. *)
+                  (match J.member "ts" ev, J.member "dur" ev with
+                   | Some _, Some _ -> incr spans
+                   | _ -> incr bad)
+                | "C" -> incr samples
+                | "i" -> incr instants
+                | "M" -> incr meta
+                | _ -> incr bad)
+             | _ -> incr bad)
+           events;
+         if !bad > 0 then
+           `Error
+             (false,
+              Printf.sprintf "%s: %d malformed trace event(s)" path !bad)
+         else begin
+           let sorted tbl =
+             Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+             |> List.sort compare
+           in
+           Printf.printf
+             "valid Chrome trace: %d span(s), %d counter sample(s), %d \
+              instant(s) on %d track(s)\n"
+             !spans !samples !instants
+             (Hashtbl.length tids);
+           Printf.printf "categories: %s\n"
+             (String.concat ", " (sorted cats));
+           `Ok ()
+         end
+       | Some _ -> `Error (false, path ^ ": traceEvents is not an array")
+       | None -> `Error (false, path ^ ": no traceEvents array"))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Validate a Chrome trace_event JSON file produced by --trace and \
+          print a summary (span/counter/track counts, categories).")
+    Term.(ret (const action $ file_arg))
+
 (* --- dot (Graphviz export) --- *)
 
 let dot_cmd =
@@ -488,4 +631,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; synth_cmd; explore_cmd; info_cmd;
-            control_cmd; dot_cmd ]))
+            control_cmd; dot_cmd; trace_cmd ]))

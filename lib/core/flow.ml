@@ -1,6 +1,7 @@
 let log_src = Logs.Src.create "mfb.flow" ~doc:"DCSA synthesis flow"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Telemetry = Mfb_util.Telemetry
 
 type scheduler = [ `Dcsa | `Earliest_ready ]
 
@@ -23,7 +24,7 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
      cpu_s > wall_s and the gap is the harvested speedup. *)
   let timed name f =
     let w0 = Unix.gettimeofday () and c0 = Sys.time () in
-    let v = f () in
+    let v = Telemetry.span ~cat:"stage" name f in
     let wall_s = Unix.gettimeofday () -. w0 and cpu_s = Sys.time () -. c0 in
     stage_times :=
       { Result.stage = name; wall_s; cpu_s } :: !stage_times;
@@ -33,6 +34,7 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
           name (1000. *. wall_s) (1000. *. cpu_s));
     v
   in
+  let synthesize () =
   (* Stage 1: binding and scheduling (paper Alg. 1). *)
   let sched =
     timed "schedule" (fun () ->
@@ -102,10 +104,22 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
     if delays = [] && op_delays = [] then sched
     else Mfb_schedule.Retime.with_transport_delays ~op_delays sched ~delays
   in
+  (final_sched, chip, routing)
+  in
+  (* The whole run executes under a telemetry scope, so the metrics
+     attached to the result cover exactly this run's collectors (its
+     pool tasks included) and nothing from concurrent suite instances. *)
+  let (final_sched, chip, routing), metrics =
+    Telemetry.with_scope
+      (Printf.sprintf "run:%s/%s" (Mfb_bioassay.Seq_graph.name graph)
+         flow_name)
+      synthesize
+  in
   Result.of_stages
     ~benchmark:(Mfb_bioassay.Seq_graph.name graph)
     ~flow:flow_name
     ~cpu_time:(Sys.time () -. started_cpu)
     ~wall_time:(Unix.gettimeofday () -. started_wall)
     ~stage_times:(List.rev !stage_times)
+    ~metrics
     ~schedule:final_sched ~chip ~routing ()

@@ -129,6 +129,25 @@ let timing_table results =
     results;
   Table.render table
 
+let metrics_table results =
+  let module Telemetry = Mfb_util.Telemetry in
+  let table =
+    Table.create
+      ~headers:[ "Benchmark"; "Flow"; "Category"; "Metric"; "Value" ]
+  in
+  Table.set_aligns table
+    [ Table.Left; Table.Left; Table.Left; Table.Left; Table.Right ];
+  List.iter
+    (fun (r : Result.t) ->
+      List.iter
+        (fun (m : Telemetry.metric) ->
+          Table.add_row table
+            [ r.benchmark; r.flow; m.mcat; m.mname;
+              Telemetry.metric_value_string m.mdata ])
+        r.metrics)
+    results;
+  Table.render table
+
 let suite_to_json pairs =
   Mfb_util.Json.List
     (List.concat_map

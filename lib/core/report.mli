@@ -22,6 +22,12 @@ val fig9 : (Result.t * Result.t) list -> string
 val timing_table : Result.t list -> string
 (** Per-stage wall-clock vs CPU time of each result (plus a total row).
     On a multi-core host with [--jobs N] the CPU/Wall ratio of a
-    parallel stage shows its effective speedup. *)
+    parallel stage shows its effective speedup.  An empty input renders
+    a header-only table. *)
+
+val metrics_table : Result.t list -> string
+(** Telemetry aggregates of each result (one row per metric, in the
+    deterministic (category, name) order).  Results carry metrics only
+    when a {!Mfb_util.Telemetry} sink was installed during synthesis. *)
 
 val suite_to_json : (Result.t * Result.t) list -> Mfb_util.Json.t

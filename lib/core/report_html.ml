@@ -81,6 +81,33 @@ let bar_chart buf ~title ~unit_label ~value pairs =
     pairs;
   Buffer.add_string buf "</table>\n"
 
+(* Telemetry aggregates, one table spanning both flows; rendered only
+   when some result carries metrics (i.e. a sink was installed). *)
+let metrics_section buf pairs =
+  let module Telemetry = Mfb_util.Telemetry in
+  let results =
+    List.concat_map (fun (ours, ba) -> [ ours; ba ]) pairs
+    |> List.filter (fun (r : Result.t) -> r.metrics <> [])
+  in
+  if results <> [] then begin
+    Buffer.add_string buf
+      {|<h2>Telemetry — per-run heuristic and effort metrics</h2>
+<table><tr><th>Benchmark</th><th>Flow</th><th>Category</th><th>Metric</th><th>Value</th></tr>|};
+    List.iter
+      (fun (r : Result.t) ->
+        List.iter
+          (fun (m : Telemetry.metric) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 {|<tr><td class="bench">%s</td><td>%s</td><td>%s</td><td>%s</td><td class="num">%s</td></tr>|}
+                 (escape r.benchmark) (escape r.flow) (escape m.mcat)
+                 (escape m.mname)
+                 (escape (Telemetry.metric_value_string m.mdata))))
+          r.metrics)
+      results;
+    Buffer.add_string buf "</table>\n"
+  end
+
 let layouts buf pairs =
   Buffer.add_string buf "<h2>Synthesised layouts (proposed flow)</h2>\n";
   Buffer.add_string buf {|<div class="svgrow">|};
@@ -116,6 +143,7 @@ T<sub>min</sub>=1.0, t<sub>c</sub>=2.0, w<sub>e</sub>=10).</p>|}
     ~unit_label:"s"
     ~value:(fun (r : Result.t) -> r.channel_wash_time)
     pairs;
+  metrics_section buf pairs;
   layouts buf pairs;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf

@@ -17,10 +17,11 @@ type t = {
   cpu_time : float;
   wall_time : float;
   stage_times : stage_time list;
+  metrics : Mfb_util.Telemetry.metric list;
 }
 
 let of_stages ~benchmark ~flow ~cpu_time ?wall_time ?(stage_times = [])
-    ~schedule ~chip ~routing () =
+    ?(metrics = []) ~schedule ~chip ~routing () =
   {
     benchmark; flow; schedule; chip; routing;
     execution_time = Metrics.completion_time schedule;
@@ -32,22 +33,28 @@ let of_stages ~benchmark ~flow ~cpu_time ?wall_time ?(stage_times = [])
     cpu_time;
     wall_time = Option.value wall_time ~default:cpu_time;
     stage_times;
+    metrics;
   }
 
 let to_json r =
   Mfb_util.Json.Obj
-    [
-      ("benchmark", Mfb_util.Json.String r.benchmark);
-      ("flow", Mfb_util.Json.String r.flow);
-      ("execution_time_s", Mfb_util.Json.Float r.execution_time);
-      ("utilization", Mfb_util.Json.Float r.utilization);
-      ("channel_length_mm", Mfb_util.Json.Float r.channel_length_mm);
-      ("channel_cache_time_s", Mfb_util.Json.Float r.channel_cache_time);
-      ("channel_wash_time_s", Mfb_util.Json.Float r.channel_wash_time);
-      ("component_wash_time_s", Mfb_util.Json.Float r.component_wash_time);
-      ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
-      ("wall_time_s", Mfb_util.Json.Float r.wall_time);
-    ]
+    ([
+       ("benchmark", Mfb_util.Json.String r.benchmark);
+       ("flow", Mfb_util.Json.String r.flow);
+       ("execution_time_s", Mfb_util.Json.Float r.execution_time);
+       ("utilization", Mfb_util.Json.Float r.utilization);
+       ("channel_length_mm", Mfb_util.Json.Float r.channel_length_mm);
+       ("channel_cache_time_s", Mfb_util.Json.Float r.channel_cache_time);
+       ("channel_wash_time_s", Mfb_util.Json.Float r.channel_wash_time);
+       ("component_wash_time_s", Mfb_util.Json.Float r.component_wash_time);
+       ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
+       ("wall_time_s", Mfb_util.Json.Float r.wall_time);
+     ]
+    @
+    (* Telemetry aggregates are deterministic (jobs-invariant), unlike
+       the timing fields above; present only when a sink was live. *)
+    if r.metrics = [] then []
+    else [ ("metrics", Mfb_util.Telemetry.metrics_to_json r.metrics) ])
 
 let pp_summary ppf r =
   Format.fprintf ppf

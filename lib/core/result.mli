@@ -25,6 +25,10 @@ type t = {
   cpu_time : float;                  (** Table I "CPU time (s)" *)
   wall_time : float;                 (** elapsed wall-clock time (s) *)
   stage_times : stage_time list;     (** per-stage wall vs CPU breakdown *)
+  metrics : Mfb_util.Telemetry.metric list;
+  (** telemetry aggregates scoped to this run ([[]] when no sink was
+      installed); deterministic — bit-for-bit identical for every
+      [--jobs] value, unlike the timing fields *)
 }
 
 val of_stages :
@@ -33,15 +37,18 @@ val of_stages :
   cpu_time:float ->
   ?wall_time:float ->
   ?stage_times:stage_time list ->
+  ?metrics:Mfb_util.Telemetry.metric list ->
   schedule:Mfb_schedule.Types.t ->
   chip:Mfb_place.Chip.t ->
   routing:Mfb_route.Routed.result ->
   unit ->
   t
 (** Derive all scalar metrics from the three stage outputs.
-    [wall_time] defaults to [cpu_time]; [stage_times] to [[]]. *)
+    [wall_time] defaults to [cpu_time]; [stage_times] and [metrics] to
+    [[]]. *)
 
 val to_json : t -> Mfb_util.Json.t
-(** Scalar metrics only (no schedule/layout dump). *)
+(** Scalar metrics only (no schedule/layout dump).  Includes a
+    ["metrics"] object when telemetry aggregates are present. *)
 
 val pp_summary : Format.formatter -> t -> unit

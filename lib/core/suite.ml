@@ -32,7 +32,7 @@ let run_pairs ?(jobs = 1) ?(config = Config.default) ?(instances = all ()) ()
     List.concat_map (fun inst -> [ (inst, `Ours); (inst, `Ba) ]) instances
   in
   let results =
-    Mfb_util.Pool.map ~jobs
+    Mfb_util.Pool.map ~label:"synthesis" ~jobs
       (fun (inst, flow) ->
         match flow with
         | `Ours -> Flow.run ~config inst.graph inst.allocation

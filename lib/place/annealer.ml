@@ -1,3 +1,5 @@
+module Telemetry = Mfb_util.Telemetry
+
 type params = { t0 : float; t_min : float; alpha : float; i_max : int }
 
 let default_params = { t0 = 10000.; t_min = 1.0; alpha = 0.9; i_max = 150 }
@@ -8,6 +10,7 @@ type result = {
   initial_energy : float;
   accepted : int;
   attempted : int;
+  temperature_steps : int;
 }
 
 let validate p =
@@ -34,30 +37,45 @@ let place ?(params = default_params) ~rng ~nets components =
   let best_energy = ref !energy in
   let accepted = ref 0 and attempted = ref 0 in
   let temperature = ref params.t0 in
-  while !temperature > params.t_min do
-    for _ = 1 to params.i_max do
-      incr attempted;
-      match Moves.random_move rng chip with
-      | None -> ()
-      | Some undo ->
-        let proposed = objective chip nets in
-        let delta = proposed -. !energy in
-        let accept =
-          delta < 0.
-          || Mfb_util.Rng.float rng 1.0 < exp (-.delta /. !temperature)
-        in
-        if accept then begin
-          incr accepted;
-          energy := proposed;
-          if proposed < !best_energy then begin
-            best_energy := proposed;
-            best := Chip.copy chip
-          end
-        end
-        else undo ()
-    done;
-    temperature := !temperature *. params.alpha
-  done;
+  let temperature_steps = ref 0 in
+  Telemetry.span ~cat:"place" "sa.walk"
+    ~args:[ ("t0", Float params.t0); ("i_max", Int params.i_max) ]
+    (fun () ->
+      while !temperature > params.t_min do
+        incr temperature_steps;
+        let accepted_before = !accepted in
+        for _ = 1 to params.i_max do
+          incr attempted;
+          match Moves.random_move rng chip with
+          | None -> ()
+          | Some undo ->
+            let proposed = objective chip nets in
+            let delta = proposed -. !energy in
+            let accept =
+              delta < 0.
+              || Mfb_util.Rng.float rng 1.0 < exp (-.delta /. !temperature)
+            in
+            if accept then begin
+              incr accepted;
+              energy := proposed;
+              if proposed < !best_energy then begin
+                best_energy := proposed;
+                best := Chip.copy chip
+              end
+            end
+            else undo ()
+        done;
+        (* One counter-series point and one histogram observation per
+           temperature step: the SA acceptance trajectory of Alg. 2. *)
+        Telemetry.sample ~cat:"place" "sa.acceptance_rate"
+          (float_of_int (!accepted - accepted_before)
+          /. float_of_int params.i_max);
+        Telemetry.observe ~cat:"place" "sa.energy" !energy;
+        temperature := !temperature *. params.alpha
+      done);
+  Telemetry.incr ~cat:"place" ~by:!accepted "sa.accepted";
+  Telemetry.incr ~cat:"place" ~by:!attempted "sa.attempted";
+  Telemetry.incr ~cat:"place" ~by:!temperature_steps "sa.temperature_steps";
   (* Tiny instances can defeat the random walk; the packed scanline
      construction is a free lower-effort candidate, so keep the better of
      the two. *)
@@ -68,7 +86,7 @@ let place ?(params = default_params) ~rng ~nets components =
     else (!best, !best_energy)
   in
   { chip; energy; initial_energy; accepted = !accepted;
-    attempted = !attempted }
+    attempted = !attempted; temperature_steps = !temperature_steps }
 
 (* Parallel restarts under the split-then-reduce discipline: child RNGs
    are derived from [rng] before dispatch and the winner is the lowest
@@ -82,7 +100,7 @@ let anneal_multi ?(params = default_params) ?(jobs = 1) ?(restarts = 1) ~rng
   else begin
     let rngs = Mfb_util.Rng.split_n rng restarts in
     let results =
-      Mfb_util.Pool.init ~jobs restarts (fun i ->
+      Mfb_util.Pool.init ~label:"sa-restart" ~jobs restarts (fun i ->
           place ~params ~rng:rngs.(i) ~nets components)
     in
     Array.fold_left

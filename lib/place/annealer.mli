@@ -22,6 +22,9 @@ type result = {
   initial_energy : float; (** objective of the random starting placement *)
   accepted : int;         (** accepted perturbations *)
   attempted : int;        (** attempted perturbations *)
+  temperature_steps : int;
+  (** cooling steps executed by the walk — a pure function of [params],
+      so invariant across seeds and [jobs] values *)
 }
 
 val objective : Chip.t -> Energy.weighted_net list -> float

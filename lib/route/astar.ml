@@ -1,3 +1,7 @@
+type stats = { mutable pops : int; mutable pushes : int; mutable expansions : int }
+
+let stats () = { pops = 0; pushes = 0; expansions = 0 }
+
 let step_cost grid ~use_weights xy =
   1. +. (if use_weights then Rgrid.weight grid xy else 0.)
 
@@ -7,11 +11,12 @@ let path_cost grid ~use_weights path =
 let manhattan (x1, y1) (x2, y2) =
   float_of_int (abs (x1 - x2) + abs (y1 - y2))
 
-let search_multi ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts ~usable
-    ~use_weights =
+let search_multi ?stats:st ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts
+    ~usable ~use_weights =
   let srcs = List.filter usable srcs and dsts = List.filter usable dsts in
   if srcs = [] || dsts = [] then None
   else begin
+    let pops = ref 0 and pushes = ref 0 and expansions = ref 0 in
     let step_cost grid ~use_weights xy =
       step_cost grid ~use_weights xy +. extra_cost xy
     in
@@ -30,12 +35,16 @@ let search_multi ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts ~usable
     let parent = Array.make (w * h) None in
     let closed = Array.make (w * h) false in
     let open_queue = Mfb_util.Pqueue.create ~cmp:Float.compare in
+    let push pr xy =
+      incr pushes;
+      Mfb_util.Pqueue.push open_queue pr xy
+    in
     List.iter
       (fun src ->
         let c = step_cost grid ~use_weights src in
         if c < g_cost.(idx src) then begin
           g_cost.(idx src) <- c;
-          Mfb_util.Pqueue.push open_queue (c +. heuristic src) src
+          push (c +. heuristic src) src
         end)
       srcs;
     let rec reconstruct xy acc =
@@ -43,21 +52,37 @@ let search_multi ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts ~usable
       | None -> xy :: acc
       | Some prev -> reconstruct prev (xy :: acc)
     in
+    let report result =
+      (match st with
+       | Some s ->
+         s.pops <- s.pops + !pops;
+         s.pushes <- s.pushes + !pushes;
+         s.expansions <- s.expansions + !expansions
+       | None -> ());
+      let module T = Mfb_util.Telemetry in
+      T.incr ~cat:"route" "astar.searches";
+      T.incr ~cat:"route" ~by:!pops "astar.pops";
+      T.incr ~cat:"route" ~by:!pushes "astar.pushes";
+      T.incr ~cat:"route" ~by:!expansions "astar.expansions";
+      result
+    in
     let rec loop () =
       match Mfb_util.Pqueue.pop open_queue with
-      | None -> None
+      | None -> report None
       | Some (_, xy) ->
-        if is_goal xy then Some (reconstruct xy [])
+        incr pops;
+        if is_goal xy then report (Some (reconstruct xy []))
         else if closed.(idx xy) then loop ()
         else begin
           closed.(idx xy) <- true;
+          incr expansions;
           let expand n =
             if (not closed.(idx n)) && usable n then begin
               let tentative = g_cost.(idx xy) +. step_cost grid ~use_weights n in
               if tentative < g_cost.(idx n) -. 1e-12 then begin
                 g_cost.(idx n) <- tentative;
                 parent.(idx n) <- Some xy;
-                Mfb_util.Pqueue.push open_queue (tentative +. heuristic n) n
+                push (tentative +. heuristic n) n
               end
             end
           in
@@ -68,5 +93,5 @@ let search_multi ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts ~usable
     loop ()
   end
 
-let search grid ~src ~dst ~usable ~use_weights =
-  search_multi grid ~srcs:[ src ] ~dsts:[ dst ] ~usable ~use_weights
+let search ?stats grid ~src ~dst ~usable ~use_weights =
+  search_multi ?stats grid ~srcs:[ src ] ~dsts:[ dst ] ~usable ~use_weights

@@ -6,7 +6,21 @@
     Manhattan distance to the nearest target, which is admissible because
     every step costs at least 1. *)
 
+type stats = {
+  mutable pops : int;        (** nodes taken off the open queue *)
+  mutable pushes : int;      (** nodes inserted into the open queue *)
+  mutable expansions : int;  (** nodes closed and expanded *)
+}
+(** Search-effort accumulator.  The counts are a pure function of the
+    grid, endpoints and cost model — no randomness — so they are
+    invariant across [--jobs] values. *)
+
+val stats : unit -> stats
+(** A zeroed accumulator; pass the same one to several searches to sum
+    their effort. *)
+
 val search_multi :
+  ?stats:stats ->
   ?extra_cost:(int * int -> float) ->
   Rgrid.t ->
   srcs:(int * int) list ->
@@ -18,9 +32,12 @@ val search_multi :
     minimum-cost path from some usable source to some usable target,
     inclusive of both endpoints; [None] when unreachable.  [extra_cost]
     (default 0) adds a non-negative per-cell surcharge — the
-    congestion/history term of negotiated routing. *)
+    congestion/history term of negotiated routing.  [stats] accumulates
+    the search effort; every search also feeds the [route/astar.*]
+    telemetry counters when a sink is installed. *)
 
 val search :
+  ?stats:stats ->
   Rgrid.t ->
   src:int * int ->
   dst:int * int ->

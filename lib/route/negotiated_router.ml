@@ -1,4 +1,5 @@
 module Interval = Mfb_util.Interval
+module Telemetry = Mfb_util.Telemetry
 module Types = Mfb_schedule.Types
 
 let present_penalty = 4.
@@ -89,10 +90,19 @@ let route ?(max_iterations = 8) ?(weight_update = true) ?(route_io = false)
     (paths, contested)
   in
   let rec negotiate k =
-    let paths, contested = iteration () in
+    let paths, contested =
+      Telemetry.span ~cat:"route" "negotiate.iteration"
+        ~args:[ ("remaining", Telemetry.Int k) ]
+        iteration
+    in
+    Telemetry.incr ~cat:"route" "negotiate.iterations";
+    Telemetry.sample ~cat:"route" "negotiate.contested"
+      (float_of_int (List.length contested));
     if contested = [] || k <= 1 then paths
     else begin
       List.iter bump contested;
+      Telemetry.incr ~cat:"route" ~by:(List.length contested)
+        "negotiate.bumped_cells";
       negotiate (k - 1)
     end
   in

@@ -1,4 +1,5 @@
 module Interval = Mfb_util.Interval
+module Telemetry = Mfb_util.Telemetry
 module Types = Mfb_schedule.Types
 
 let sorted_transports (sched : Types.t) =
@@ -22,9 +23,11 @@ let delay_candidates = [ 0.; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0 ]
    candidates. *)
 let route_task ~weight_update grid ~tc (tr : Types.transport) =
   let srcs = Rgrid.ports grid tr.src and dsts = Rgrid.ports grid tr.dst in
+  let effort = Astar.stats () in
   let attempt delay =
     let usable xy = Routed.usable grid ~tc tr ~delay ~src_ports:srcs xy in
-    Astar.search_multi grid ~srcs ~dsts ~usable ~use_weights:weight_update
+    Astar.search_multi ~stats:effort grid ~srcs ~dsts ~usable
+      ~use_weights:weight_update
   in
   let score delay path =
     Astar.path_cost grid ~use_weights:weight_update path
@@ -50,6 +53,11 @@ let route_task ~weight_update grid ~tc (tr : Types.transport) =
     let pre_wash, washed_cells = Routed.measure_wash grid ~tc task in
     let task = { task with pre_wash; washed_cells } in
     Routed.commit ~weight_update grid ~tc task;
+    Telemetry.sample ~cat:"route" "astar.task_pops"
+      (float_of_int effort.pops);
+    if delay > 0. then Telemetry.observe ~cat:"route" "task.delay" delay;
+    Telemetry.observe ~cat:"route" "task.path_cells"
+      (float_of_int (List.length path));
     (task, unresolved)
   in
   match best with
@@ -57,15 +65,21 @@ let route_task ~weight_update grid ~tc (tr : Types.transport) =
   | None ->
     (* Spatially blocked or hopelessly congested: fall back to the
        shortest obstacle-avoiding path and postpone along it. *)
+    Telemetry.incr ~cat:"route" "conflict.rejections";
     let usable xy = not (Rgrid.blocked grid xy) in
     let path =
-      match Astar.search_multi grid ~srcs ~dsts ~usable ~use_weights:false with
+      match
+        Astar.search_multi ~stats:effort grid ~srcs ~dsts ~usable
+          ~use_weights:false
+      with
       | Some p -> p
       | None -> [ List.hd srcs; List.hd dsts ] (* degenerate fallback *)
     in
     (match Routed.settle_delay grid ~tc tr ~src_ports:srcs path with
      | Some delay -> finish path delay false
-     | None -> finish path 0. true)
+     | None ->
+       Telemetry.incr ~cat:"route" "unresolved";
+       finish path 0. true)
 
 let route ?(weight_update = true) ?(route_io = false) ~we ~tc chip
     (sched : Types.t) =
@@ -73,8 +87,16 @@ let route ?(weight_update = true) ?(route_io = false) ~we ~tc chip
   let grid = Rgrid.create ~we chip in
   let tasks, unresolved =
     List.fold_left
-      (fun (tasks, unresolved) tr ->
-        let task, failed = route_task ~weight_update grid ~tc tr in
+      (fun (tasks, unresolved) (tr : Types.transport) ->
+        let task, failed =
+          Telemetry.span ~cat:"route" "transport"
+            ~args:
+              [ ("edge_src", Telemetry.Int (fst tr.edge));
+                ("edge_dst", Telemetry.Int (snd tr.edge));
+                ("from", Telemetry.Int tr.src);
+                ("to", Telemetry.Int tr.dst) ]
+            (fun () -> route_task ~weight_update grid ~tc tr)
+        in
         (task :: tasks, if failed then unresolved + 1 else unresolved))
       ([], 0) (sorted_transports sched)
   in

@@ -3,6 +3,7 @@ module Operation = Mfb_bioassay.Operation
 module Fluid = Mfb_bioassay.Fluid
 module Allocation = Mfb_component.Allocation
 module Component = Mfb_component.Component
+module Telemetry = Mfb_util.Telemetry
 
 (* Where the output fluid of a scheduled operation currently is. *)
 type fluid_state = {
@@ -72,6 +73,7 @@ let evict st c ~start =
     let wash = wash_of st producer in
     let at = Float.max fs.produced_at (start -. wash) in
     fs.removed_at <- Some at;
+    Telemetry.incr ~cat:"schedule" "washes.evict";
     st.washes <-
       { Types.component = c.comp.id; residue_op = producer; wash_start = at;
         wash_duration = wash }
@@ -94,6 +96,7 @@ let transport st ~parent ~child ~dst ~start =
       fs.removed_at <- Some depart;
       let home = st.comps.(fs.home) in
       let wash = wash_of st parent in
+      Telemetry.incr ~cat:"schedule" "washes.departure";
       st.washes <-
         { Types.component = fs.home; residue_op = parent; wash_start = depart;
           wash_duration = wash }
@@ -106,11 +109,13 @@ let transport st ~parent ~child ~dst ~start =
      distinct components, or back into its own component after having been
      evicted into a channel (a loopback, whose waiting time is channel
      cache). *)
-  if fs.home <> dst || removal < depart -. 1e-9 then
+  if fs.home <> dst || removal < depart -. 1e-9 then begin
+    Telemetry.incr ~cat:"schedule" "transports";
     st.transports <-
       { Types.edge = (parent, child); src = fs.home; dst; removal; depart;
         arrive = start; fluid = (Seq_graph.op st.graph parent).output }
       :: st.transports
+  end
 
 (* Bind and schedule operation [op] on component state [c]. *)
 let schedule_on st op c ~in_place =
@@ -156,6 +161,7 @@ let schedule_on st op c ~in_place =
     (* Sink: the product leaves the chip when the operation completes. *)
     fs.removed_at <- Some finish;
     let wash = wash_of st op in
+    Telemetry.incr ~cat:"schedule" "washes.sink";
     st.washes <-
       { Types.component = c.comp.id; residue_op = op; wash_start = finish;
         wash_duration = wash }
@@ -222,9 +228,18 @@ let choose_component st ~case1 op =
   in
   if case1 then
     match case1_pick () with
-    | Some (c, producer) -> (c, Some producer)
-    | None -> earliest_pick ()
-  else earliest_pick ()
+    | Some (c, producer) ->
+      (* Case I of Alg. 1: consume a parent's residue in place. *)
+      Telemetry.incr ~cat:"schedule" "bindings.case1";
+      (c, Some producer)
+    | None ->
+      (* Case II: no in-place candidate; fall back to availability. *)
+      Telemetry.incr ~cat:"schedule" "bindings.case2";
+      earliest_pick ()
+  else begin
+    Telemetry.incr ~cat:"schedule" "bindings.earliest";
+    earliest_pick ()
+  end
 
 let fresh_state ~tc graph allocation =
   if not (Float.is_finite tc) || tc <= 0. then
@@ -312,6 +327,11 @@ let run ?priorities ~case1 ~tc graph allocation =
     match Mfb_util.Pqueue.pop queue with
     | None -> ()
     | Some (_, op) ->
+      let depth = Mfb_util.Pqueue.length queue in
+      Telemetry.sample ~cat:"schedule" "ready_queue"
+        (float_of_int (depth + 1));
+      Telemetry.observe ~cat:"schedule" "ready_queue.depth"
+        (float_of_int (depth + 1));
       let c, in_place = choose_component st ~case1 op in
       schedule_on st op c ~in_place;
       let release child =

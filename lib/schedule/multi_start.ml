@@ -28,7 +28,9 @@ let schedule ?(restarts = 16) ?(noise = 0.25) ?(jobs = 1) ~rng ~tc graph
       Engine.run ~priorities:perturbed ~case1:true ~tc graph allocation
     end
   in
-  let candidates = Mfb_util.Pool.init ~jobs restarts restart in
+  let candidates =
+    Mfb_util.Pool.init ~label:"schedule-restart" ~jobs restarts restart
+  in
   let first = candidates.(0) in
   let best = ref first in
   for i = 1 to restarts - 1 do

@@ -1,5 +1,5 @@
-(** Minimal JSON value model and serializer for exporting experiment
-    results; no parsing is needed in this project. *)
+(** Minimal JSON value model, serializer and parser for exporting and
+    validating experiment artifacts (metrics, Chrome traces). *)
 
 type t =
   | Null
@@ -15,3 +15,14 @@ val to_string : ?indent:int -> t -> string
     compact single line, a positive indent pretty-prints. *)
 
 val to_channel : ?indent:int -> out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (trailing whitespace allowed, anything else
+    after the document is an error).  Numbers without [.], [e] or [E]
+    parse as [Int]; everything else as [Float].  Object member order is
+    preserved; duplicate keys are kept.  Errors carry the 0-based byte
+    offset: ["offset 12: expected ':'"]. *)
+
+val member : string -> t -> t option
+(** [member k v] is the first [k] field of object [v]; [None] when [v]
+    is not an object or lacks the key. *)

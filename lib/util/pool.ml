@@ -3,7 +3,15 @@
    Tasks are indexed 0..n-1 and handed out through one atomic cursor;
    each worker loops fetch-and-add until the range is exhausted.  Every
    result (or exception) lands in the slot of its task index, so the
-   outcome is independent of how the domains interleave. *)
+   outcome is independent of how the domains interleave.
+
+   Telemetry: the dispatching collector is captured *before* any domain
+   is spawned, each task then runs under a child collector keyed by its
+   task index (see Telemetry.in_task), and workers get busy spans on
+   their own tracks.  When telemetry is live the task wrapper is applied
+   even on the jobs=1 fast path, so the collector tree — and therefore
+   every merged metric, float summation order included — is identical
+   for every jobs value. *)
 
 let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
@@ -12,10 +20,10 @@ let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
    needed beyond the join itself. *)
 type 'a outcome = Pending | Done of 'a | Failed of exn
 
-let run_indexed ~jobs n f =
+let run_indexed ~ctx ~jobs n f =
   let slots = Array.make n Pending in
   let cursor = Atomic.make 0 in
-  let worker () =
+  let drain () =
     let rec loop () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < n then begin
@@ -25,10 +33,12 @@ let run_indexed ~jobs n f =
     in
     loop ()
   in
+  let worker w () = Telemetry.in_worker ctx ~index:w drain in
   let helpers =
-    Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    Array.init (min (jobs - 1) (n - 1)) (fun w ->
+        Domain.spawn (worker (w + 1)))
   in
-  worker ();
+  worker 0 ();
   Array.iter Domain.join helpers;
   (* Deterministic failure: the lowest task index wins, not the first
      domain to crash. *)
@@ -37,13 +47,23 @@ let run_indexed ~jobs n f =
     (function Done v -> v | Pending | Failed _ -> assert false)
     slots
 
-let init ?(jobs = 1) n f =
+let init ?(label = "task") ?(jobs = 1) n f =
   if jobs < 1 then invalid_arg "Pool.init: jobs < 1";
   if n < 0 then invalid_arg "Pool.init: negative size";
   if n = 0 then [||]
-  else if jobs = 1 || n = 1 then Array.init n f
-  else run_indexed ~jobs n f
+  else begin
+    let ctx = Telemetry.task_context () in
+    if Telemetry.is_live ctx then begin
+      let f i = Telemetry.in_task ctx ~label i (fun () -> f i) in
+      if jobs = 1 || n = 1 then Array.init n f
+      else run_indexed ~ctx ~jobs n f
+    end
+    else if jobs = 1 || n = 1 then Array.init n f
+    else run_indexed ~ctx ~jobs n f
+  end
 
-let map_array ?jobs f xs = init ?jobs (Array.length xs) (fun i -> f xs.(i))
+let map_array ?label ?jobs f xs =
+  init ?label ?jobs (Array.length xs) (fun i -> f xs.(i))
 
-let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+let map ?label ?jobs f xs =
+  Array.to_list (map_array ?label ?jobs f (Array.of_list xs))

@@ -17,23 +17,32 @@
     With [jobs = 1] (the library default) no domain is spawned and tasks
     run sequentially in the calling domain — the fallback path used by
     tests and by callers that already sit inside a worker domain
-    (domains must not be nested carelessly). *)
+    (domains must not be nested carelessly).
+
+    When a {!Telemetry} sink is installed, every task runs under its own
+    child collector (track = task index, captured from the dispatching
+    collector before any domain spawns) wrapped in a [label] span, and
+    each worker domain gets a busy span on its own track.  The task
+    wrapper applies on the [jobs = 1] fast path too, so the collector
+    tree — and every metric merged from it — is identical for all [jobs]
+    values. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] capped to [[1, 8]] — the
     default worker count used by the CLI and the bench harness. *)
 
-val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val init : ?label:string -> ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] evaluated by up to [jobs]
     domains (the calling domain included).  Tasks are handed out through
     an atomic cursor; [f] must therefore be safe to call concurrently on
-    distinct indices.  Result slot [i] always holds [f i].
+    distinct indices.  Result slot [i] always holds [f i].  [label]
+    (default ["task"]) names the per-task telemetry spans.
     @raise Invalid_argument if [jobs < 1] or [n < 0]. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?label:string -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] preserves the order of [xs] regardless of [jobs].
     Exceptions raised by [f] propagate; when several tasks fail, the one
     closest to the head of [xs] wins, whatever domain it ran on. *)
 
-val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?label:string -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)

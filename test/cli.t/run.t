@@ -77,3 +77,64 @@ The layout and schedule renderings agree too:
   $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
   >   --sa-restarts 4 --jobs 2 --layout --schedule --gantt 2>/dev/null | tail -n +2 > full2.txt
   $ diff full1.txt full2.txt
+
+Telemetry stays deterministic too: with a sink installed (--metrics), the
+aggregates folded into the JSON are byte-identical across --jobs values:
+
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
+  >   --sa-restarts 4 --jobs 1 --metrics --json | grep -vE '(cpu|wall)_time_s' > tele1.json
+  $ ../../bin/dcsa_synth.exe run -i ../../data/protein_panel.assay -a 3,2,0,2 \
+  >   --sa-restarts 4 --jobs 2 --metrics --json | grep -vE '(cpu|wall)_time_s' > tele2.json
+  $ diff tele1.json tele2.json
+  $ grep -c '"metrics"' tele1.json
+  1
+
+The metrics table itself is a deterministic artifact (every aggregate is
+algorithm-driven — counters, bindings, search effort — never wall-clock):
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --sa-restarts 2 --jobs 2 --metrics 2>/dev/null | tail -n +3
+  +-----------+------+----------+----------------------+-----------------------------------------+
+  | Benchmark | Flow | Category |        Metric        |                  Value                  |
+  +-----------+------+----------+----------------------+-----------------------------------------+
+  | PCR       | ours | place    | sa.accepted          |                                   14826 |
+  | PCR       | ours | place    | sa.attempted         |                                   26400 |
+  | PCR       | ours | place    | sa.energy            | n=176 mean=18.6 min=11.0235 max=37.8754 |
+  | PCR       | ours | place    | sa.temperature_steps |                                     176 |
+  | PCR       | ours | route    | astar.expansions     |                                     387 |
+  | PCR       | ours | route    | astar.pops           |                                     414 |
+  | PCR       | ours | route    | astar.pushes         |                                     702 |
+  | PCR       | ours | route    | astar.searches       |                                      27 |
+  | PCR       | ours | route    | task.path_cells      |              n=3 mean=2.333 min=1 max=5 |
+  | PCR       | ours | schedule | bindings.case1       |                                       3 |
+  | PCR       | ours | schedule | bindings.case2       |                                       4 |
+  | PCR       | ours | schedule | ready_queue.depth    |              n=7 mean=2.286 min=1 max=4 |
+  | PCR       | ours | schedule | transports           |                                       3 |
+  | PCR       | ours | schedule | washes.departure     |                                       2 |
+  | PCR       | ours | schedule | washes.evict         |                                       1 |
+  | PCR       | ours | schedule | washes.sink          |                                       1 |
+  +-----------+------+----------+----------------------+-----------------------------------------+
+
+--trace writes a Chrome trace_event file; the trace subcommand validates
+it and summarises with deterministic event counts (timestamps vary, the
+set of spans and counter samples does not):
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --sa-restarts 2 --jobs 2 --trace trace.json >/dev/null 2>&1
+  $ ../../bin/dcsa_synth.exe trace trace.json
+  valid Chrome trace: 13 span(s), 186 counter sample(s), 0 instant(s) on 6 track(s)
+  categories: place, pool, route, schedule, scope, stage, task
+
+A corrupt trace is rejected:
+
+  $ echo '{"traceEvents": 3}' > bad_trace.json
+  $ ../../bin/dcsa_synth.exe trace bad_trace.json
+  dcsa-synth: bad_trace.json: traceEvents is not an array
+  [124]
+
+--timing prints the per-stage table (wall-clock values vary, the rows do
+not):
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --timing 2>/dev/null | grep '^| PCR' | cut -d'|' -f4 | tr -d ' '
+  schedule
+  place
+  route
+  total

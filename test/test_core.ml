@@ -242,6 +242,44 @@ let test_suite_json () =
   Alcotest.(check bool) "has both flows" true
     (Testkit.contains json "\"ours\"" && Testkit.contains json "\"ba\"")
 
+let test_timing_table_empty () =
+  (* No results: a header-only table, not an exception. *)
+  let s = Report.timing_table [] in
+  Alcotest.(check bool) "header present" true (Testkit.contains s "Wall (s)");
+  Alcotest.(check bool) "no data rows" false (Testkit.contains s "total")
+
+let test_timing_table_render () =
+  let ours, _ = List.hd (Lazy.force run_pairs) in
+  let s = Report.timing_table [ ours ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Testkit.contains s needle))
+    [ "schedule"; "place"; "route"; "total"; ours.benchmark ]
+
+let test_metrics_table () =
+  Alcotest.(check bool) "empty input renders header" true
+    (Testkit.contains (Report.metrics_table []) "Metric");
+  let module Telemetry = Mfb_util.Telemetry in
+  Telemetry.install (Telemetry.make_sink ());
+  let r =
+    Fun.protect ~finally:Telemetry.uninstall (fun () ->
+        let inst = Suite.pcr () in
+        Flow.run ~config:fast_cfg inst.graph inst.allocation)
+  in
+  Alcotest.(check bool) "run collected metrics" true (r.metrics <> []);
+  let s = Report.metrics_table [ r ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Testkit.contains s needle))
+    [ "sa.accepted"; "astar.pops"; "ready_queue.depth" ];
+  (* The aggregates also reach the JSON result. *)
+  Alcotest.(check bool) "metrics in to_json" true
+    (Testkit.contains
+       (Mfb_util.Json.to_string (Result_.to_json r))
+       "\"metrics\"")
+
 let test_result_json () =
   let ours, _ = List.hd (Lazy.force run_pairs) in
   let json = Mfb_util.Json.to_string (Result_.to_json ours) in
@@ -538,6 +576,11 @@ let suites =
         Alcotest.test_case "table1 render" `Quick test_table1_render;
         Alcotest.test_case "figures render" `Quick test_figures_render;
         Alcotest.test_case "suite json" `Quick test_suite_json;
+        Alcotest.test_case "timing table empty" `Quick
+          test_timing_table_empty;
+        Alcotest.test_case "timing table render" `Quick
+          test_timing_table_render;
+        Alcotest.test_case "metrics table" `Quick test_metrics_table;
         Alcotest.test_case "result json" `Quick test_result_json;
         Alcotest.test_case "layout render" `Quick test_layout_render;
         Alcotest.test_case "gantt render" `Quick test_gantt_render;

@@ -123,6 +123,90 @@ let prop_flow_jobs_equivalent =
       && seq.channel_wash_time = par.channel_wash_time
       && seq.execution_time = par.execution_time)
 
+(* --- Telemetry on: Result aggregates stay jobs-invariant --- *)
+
+module Telemetry = Mfb_util.Telemetry
+
+(* Runs [f] under a fresh installed sink, returns its value; the sink
+   never leaks into the other properties. *)
+let with_sink f =
+  Telemetry.install (Telemetry.make_sink ());
+  Fun.protect ~finally:Telemetry.uninstall f
+
+let prop_flow_metrics_jobs_equivalent =
+  qtest ~count:12
+    "Flow.run with telemetry: metrics and to_json jobs=1 == jobs=3"
+    QCheck2.Gen.(pair instance_gen (int_bound 1000))
+    (fun ((g, alloc), seed) ->
+      let config = { Mfb_core.Config.default with sa_restarts = 3; seed } in
+      (* Strip the wall-clock fields — everything else must be
+         bit-for-bit, the telemetry aggregates included. *)
+      let key jobs =
+        with_sink (fun () ->
+            let r = Mfb_core.Flow.run ~config ~jobs g alloc in
+            let json =
+              match Mfb_core.Result.to_json r with
+              | Mfb_util.Json.Obj fields ->
+                Mfb_util.Json.Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       k <> "cpu_time_s" && k <> "wall_time_s"
+                       && k <> "stage_times")
+                     fields)
+              | other -> other
+            in
+            (r.metrics, Mfb_util.Json.to_string json))
+      in
+      let (m1, j1) = key 1 and (m3, j3) = key 3 in
+      m1 <> [] && m1 = m3 && j1 = j3)
+
+let prop_annealer_temperature_steps_invariant =
+  qtest ~count:25 "Annealer temperature_steps: pure function of params"
+    QCheck2.Gen.(pair instance_gen (int_bound 1000))
+    (fun ((g, alloc), seed) ->
+      let sched = Mfb_schedule.Dcsa_scheduler.schedule ~tc g alloc in
+      let nets =
+        Mfb_place.Energy.weigh ~beta:0.6 ~gamma:0.4
+          (Mfb_place.Net.of_schedule sched)
+      in
+      let run jobs seed =
+        Annealer.anneal_multi ~params:fast_sa ~jobs ~restarts:3
+          ~rng:(Rng.create seed) ~nets sched.components
+      in
+      let a = run 1 seed and b = run 4 seed and c = run 1 (seed + 1) in
+      a.temperature_steps > 0
+      && a.temperature_steps = b.temperature_steps
+      && a.temperature_steps = c.temperature_steps)
+
+let prop_astar_stats_deterministic =
+  qtest ~count:20 "A* search effort (pops/pushes/expansions) deterministic"
+    QCheck2.Gen.(pair instance_gen (int_bound 1000))
+    (fun ((g, alloc), seed) ->
+      let sched = Mfb_schedule.Dcsa_scheduler.schedule ~tc g alloc in
+      let nets =
+        Mfb_place.Energy.weigh ~beta:0.6 ~gamma:0.4
+          (Mfb_place.Net.of_schedule sched)
+      in
+      let placed =
+        Annealer.place ~params:fast_sa ~rng:(Rng.create seed) ~nets
+          sched.components
+      in
+      let grid = Mfb_route.Rgrid.create ~we:10. placed.chip in
+      let route () =
+        let stats = Mfb_route.Astar.stats () in
+        (match
+           Mfb_route.Astar.search ~stats grid ~src:(0, 0)
+             ~dst:(Mfb_route.Rgrid.width grid - 1,
+                   Mfb_route.Rgrid.height grid - 1)
+             ~usable:(fun c -> not (Mfb_route.Rgrid.blocked grid c))
+             ~use_weights:false
+         with
+        | Some _ | None -> ());
+        (stats.pops, stats.pushes, stats.expansions)
+      in
+      let ((pops, pushes, expansions) as a) = route () in
+      a = route () && pops > 0 && pushes >= pops && expansions <= pops)
+
 (* --- Suite fan-out: pair order and results independent of jobs --- *)
 
 let test_suite_pairs_jobs_equivalent () =
@@ -165,6 +249,9 @@ let suites =
         prop_annealer_jobs_equivalent;
         prop_parallel_schedule_legal;
         prop_flow_jobs_equivalent;
+        prop_flow_metrics_jobs_equivalent;
+        prop_annealer_temperature_steps_invariant;
+        prop_astar_stats_deterministic;
         Alcotest.test_case "suite pairs across jobs" `Quick
           test_suite_pairs_jobs_equivalent;
         prop_split_n_deterministic;

@@ -371,6 +371,273 @@ let test_json_indent () =
   let s = Json.to_string ~indent:2 v in
   Alcotest.(check bool) "has newline" true (String.contains s '\n')
 
+(* --- Json parsing --- *)
+
+let test_json_parse_scalars () =
+  Alcotest.(check bool) "int" true (Json.of_string "42" = Ok (Json.Int 42));
+  Alcotest.(check bool) "negative" true
+    (Json.of_string "-7" = Ok (Json.Int (-7)));
+  Alcotest.(check bool) "float" true
+    (Json.of_string "-3.5" = Ok (Json.Float (-3.5)));
+  Alcotest.(check bool) "exponent" true
+    (Json.of_string "1e3" = Ok (Json.Float 1000.));
+  Alcotest.(check bool) "true" true (Json.of_string "true" = Ok (Json.Bool true));
+  Alcotest.(check bool) "null" true (Json.of_string "null" = Ok Json.Null);
+  Alcotest.(check bool) "string escapes" true
+    (Json.of_string {|"a\nb\"c"|} = Ok (Json.String "a\nb\"c"))
+
+let test_json_parse_containers () =
+  Alcotest.(check bool) "array" true
+    (Json.of_string "[1, 2, 3]" = Ok (Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]));
+  Alcotest.(check bool) "object" true
+    (Json.of_string {| {"a": 1, "b": [true]} |}
+    = Ok (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ]));
+  Alcotest.(check bool) "empty object" true
+    (Json.of_string "{}" = Ok (Json.Obj []));
+  Alcotest.(check bool) "empty array" true
+    (Json.of_string "[]" = Ok (Json.List []))
+
+let test_json_parse_errors () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty input" true (is_error (Json.of_string ""));
+  Alcotest.(check bool) "unterminated object" true
+    (is_error (Json.of_string "{"));
+  Alcotest.(check bool) "trailing comma" true
+    (is_error (Json.of_string "[1,]"));
+  Alcotest.(check bool) "missing colon" true
+    (is_error (Json.of_string {|{"a" 1}|}));
+  Alcotest.(check bool) "trailing garbage" true
+    (is_error (Json.of_string "{} x"));
+  Alcotest.(check bool) "bare word" true (is_error (Json.of_string "nope"))
+
+let test_json_member () =
+  let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  Alcotest.(check bool) "hit" true (Json.member "a" v = Some (Json.Int 1));
+  Alcotest.(check bool) "miss" true (Json.member "z" v = None);
+  Alcotest.(check bool) "non-object" true
+    (Json.member "a" (Json.List []) = None)
+
+(* Float-free generator: float formatting round-trips are checked by the
+   scalar cases above; structural round-trip is what this proves. *)
+let json_gen =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 map (fun i -> Json.Int i) int;
+                 map (fun b -> Json.Bool b) bool;
+                 return Json.Null;
+                 map (fun s -> Json.String s) (string_size (int_bound 8));
+               ]
+           in
+           if n = 0 then leaf
+           else
+             oneof
+               [
+                 leaf;
+                 map (fun l -> Json.List l)
+                   (list_size (int_bound 4) (self (n / 2)));
+                 map (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair
+                         (string_size (int_bound 5)
+                            ~gen:(char_range 'a' 'z'))
+                         (self (n / 2))));
+               ]))
+
+let prop_json_roundtrip =
+  qtest "of_string inverts to_string" json_gen (fun v ->
+      Json.of_string (Json.to_string v) = Ok v)
+
+let prop_json_roundtrip_pretty =
+  qtest "of_string inverts pretty to_string" json_gen (fun v ->
+      Json.of_string (Json.to_string ~indent:2 v) = Ok v)
+
+(* --- Telemetry --- *)
+
+module Telemetry = Mfb_util.Telemetry
+module Pool = Mfb_util.Pool
+
+(* A fake clock (1 s per call) makes timestamps and durations
+   reproducible; [Fun.protect] guarantees the global sink never leaks
+   into other tests. *)
+let with_fake_sink f =
+  let t = ref 0. in
+  let clock () =
+    let v = !t in
+    t := v +. 1.;
+    v
+  in
+  let sink = Telemetry.make_sink ~clock () in
+  Telemetry.install sink;
+  Fun.protect ~finally:Telemetry.uninstall (fun () -> f sink)
+
+let complete_events sink =
+  List.filter_map
+    (fun (e : Telemetry.event) ->
+      match e.ph with
+      | Telemetry.Complete dur -> Some (e.name, e.depth, dur)
+      | _ -> None)
+    (Telemetry.events sink)
+
+let test_telemetry_span_nesting () =
+  with_fake_sink (fun sink ->
+      let r =
+        Telemetry.span ~cat:"t" "outer" (fun () ->
+            Telemetry.span ~cat:"t" "inner" (fun () -> 42))
+      in
+      Alcotest.(check int) "result" 42 r;
+      match complete_events sink with
+      | [ ("inner", d_in, dur_in); ("outer", d_out, dur_out) ] ->
+        Alcotest.(check int) "inner depth" 1 d_in;
+        Alcotest.(check int) "outer depth" 0 d_out;
+        Alcotest.(check bool) "outer encloses inner" true (dur_out > dur_in)
+      | evs ->
+        Alcotest.failf "expected inner-then-outer, got %d events"
+          (List.length evs))
+
+let test_telemetry_span_on_raise () =
+  with_fake_sink (fun sink ->
+      (try
+         Telemetry.span "doomed" (fun () -> raise Exit)
+       with Exit -> ());
+      match complete_events sink with
+      | [ ("doomed", 0, _) ] -> ()
+      | _ -> Alcotest.fail "span not closed on exception")
+
+let test_telemetry_disabled_noop () =
+  Alcotest.(check bool) "inactive" false (Telemetry.active ());
+  Alcotest.(check int) "span passes through" 7
+    (Telemetry.span "s" (fun () -> 7));
+  Telemetry.incr "c";
+  Telemetry.observe "h" 1.;
+  Telemetry.gauge "g" 2.;
+  Telemetry.sample "s" 3.;
+  Telemetry.instant "i";
+  let ctx = Telemetry.task_context () in
+  Alcotest.(check bool) "context inert" false (Telemetry.is_live ctx);
+  Alcotest.(check int) "in_task identity" 9
+    (Telemetry.in_task ctx ~label:"t" 0 (fun () -> 9));
+  let v, ms = Telemetry.with_scope "scope" (fun () -> 11) in
+  Alcotest.(check int) "with_scope passes through" 11 v;
+  Alcotest.(check int) "no metrics" 0 (List.length ms)
+
+let test_telemetry_span_hook () =
+  with_fake_sink (fun _sink ->
+      let log = ref [] in
+      Telemetry.set_span_hook
+        (Some
+           (fun dir ~depth:_ name ->
+             log := (dir = `Open, name) :: !log));
+      Fun.protect
+        ~finally:(fun () -> Telemetry.set_span_hook None)
+        (fun () ->
+          Telemetry.span "a" (fun () -> Telemetry.span "b" (fun () -> ())));
+      Alcotest.(check bool) "open/close order" true
+        (List.rev !log
+        = [ (true, "a"); (true, "b"); (false, "b"); (false, "a") ]))
+
+let test_telemetry_aggregates () =
+  with_fake_sink (fun _sink ->
+      let (), ms =
+        Telemetry.with_scope "s" (fun () ->
+            Telemetry.incr ~cat:"c" "x";
+            Telemetry.incr ~cat:"c" ~by:4 "x";
+            Telemetry.gauge ~cat:"c" "g" 1.;
+            Telemetry.gauge ~cat:"c" "g" 2.5;
+            Telemetry.observe ~cat:"c" "h" 3.;
+            Telemetry.observe ~cat:"c" "h" 1.)
+      in
+      match ms with
+      | [ { Telemetry.mcat = "c"; mname = "g"; mdata = Telemetry.Gauge g };
+          { mcat = "c"; mname = "h"; mdata = Telemetry.Histogram s };
+          { mcat = "c"; mname = "x"; mdata = Telemetry.Counter n } ] ->
+        check_float "gauge last wins" 2.5 g;
+        Alcotest.(check int) "hist count" 2 s.count;
+        check_float "hist sum" 4. s.sum;
+        check_float "hist min" 1. s.min;
+        check_float "hist max" 3. s.max;
+        Alcotest.(check int) "counter sum" 5 n
+      | _ -> Alcotest.failf "unexpected metrics (%d)" (List.length ms))
+
+(* The load-bearing property: aggregates merged from the collector tree
+   are identical whatever the worker count, float summation included. *)
+let test_telemetry_merge_jobs_invariant () =
+  let run jobs =
+    with_fake_sink (fun _sink ->
+        let _, ms =
+          Telemetry.with_scope "s" (fun () ->
+              ignore
+                (Pool.map ~label:"t" ~jobs
+                   (fun i ->
+                     Telemetry.incr ~cat:"m" "n";
+                     Telemetry.observe ~cat:"m" "v" (float_of_int i *. 0.1);
+                     Telemetry.gauge ~cat:"m" "last" (float_of_int i);
+                     i * i)
+                   (List.init 17 Fun.id)))
+        in
+        ms)
+  in
+  let m1 = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d equals jobs=1" jobs)
+        true
+        (run jobs = m1))
+    [ 2; 3; 8 ];
+  (* And the gauge winner is the program-order last task, not a race. *)
+  match
+    List.find_opt (fun (m : Telemetry.metric) -> m.mname = "last") m1
+  with
+  | Some { mdata = Telemetry.Gauge g; _ } -> check_float "last task" 16. g
+  | _ -> Alcotest.fail "gauge missing"
+
+let test_telemetry_chrome_export () =
+  with_fake_sink (fun sink ->
+      Telemetry.span ~cat:"t" "top" (fun () ->
+          Telemetry.sample ~cat:"t" "load" 0.5;
+          Telemetry.instant ~cat:"t" "tick");
+      let doc = Telemetry.to_chrome_json ~process_name:"test" sink in
+      match Json.of_string (Json.to_string doc) with
+      | Error e -> Alcotest.failf "export does not re-parse: %s" e
+      | Ok parsed ->
+        (match Json.member "traceEvents" parsed with
+         | Some (Json.List events) ->
+           Alcotest.(check bool) "has events" true (List.length events > 3);
+           List.iter
+             (fun ev ->
+               match Json.member "ph" ev, Json.member "name" ev with
+               | Some (Json.String _), Some (Json.String _) -> ()
+               | _ -> Alcotest.fail "event lacks ph/name")
+             events;
+           let has ph =
+             List.exists
+               (fun ev -> Json.member "ph" ev = Some (Json.String ph))
+               events
+           in
+           Alcotest.(check bool) "complete span" true (has "X");
+           Alcotest.(check bool) "counter sample" true (has "C");
+           Alcotest.(check bool) "instant" true (has "i");
+           Alcotest.(check bool) "metadata" true (has "M")
+         | _ -> Alcotest.fail "no traceEvents array"))
+
+let test_telemetry_jsonl () =
+  with_fake_sink (fun sink ->
+      Telemetry.span "a" (fun () -> Telemetry.instant "b");
+      let lines =
+        String.split_on_char '\n' (String.trim (Telemetry.to_jsonl sink))
+      in
+      Alcotest.(check int) "one record per event" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Ok (Json.Obj _) -> ()
+          | _ -> Alcotest.failf "bad JSONL line: %s" line)
+        lines)
+
 let suites =
   [
     ( "util.pqueue",
@@ -440,5 +707,26 @@ let suites =
         Alcotest.test_case "escape" `Quick test_json_escape;
         Alcotest.test_case "floats" `Quick test_json_floats;
         Alcotest.test_case "indent" `Quick test_json_indent;
+        Alcotest.test_case "parse scalars" `Quick test_json_parse_scalars;
+        Alcotest.test_case "parse containers" `Quick
+          test_json_parse_containers;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "member" `Quick test_json_member;
+        prop_json_roundtrip;
+        prop_json_roundtrip_pretty;
+      ] );
+    ( "util.telemetry",
+      [
+        Alcotest.test_case "span nesting" `Quick test_telemetry_span_nesting;
+        Alcotest.test_case "span closes on raise" `Quick
+          test_telemetry_span_on_raise;
+        Alcotest.test_case "disabled is a no-op" `Quick
+          test_telemetry_disabled_noop;
+        Alcotest.test_case "span hook" `Quick test_telemetry_span_hook;
+        Alcotest.test_case "aggregates" `Quick test_telemetry_aggregates;
+        Alcotest.test_case "merge is jobs-invariant" `Quick
+          test_telemetry_merge_jobs_invariant;
+        Alcotest.test_case "chrome export" `Quick test_telemetry_chrome_export;
+        Alcotest.test_case "jsonl export" `Quick test_telemetry_jsonl;
       ] );
   ]
