@@ -1,0 +1,175 @@
+(* Load generator for the synthesis service.
+
+   Replays a seeded mix of repeated ("hot") and fresh requests against
+   two in-process servers — one caching, one with the cache disabled —
+   and reports throughput, cache hit rate, p50/p95 request latency, and
+   shed/rejection counts.  The workload is a pure function of --seed, so
+   two runs replay byte-identical request scripts.
+
+   Run with: dune exec bench/load_gen.exe -- [--requests N] [--repeat F]
+             [--hot K] [--jobs N] [--seed S] [--out FILE]
+
+   Writes the machine-readable summary to BENCH_server.json (or --out). *)
+
+module Json = Mfb_util.Json
+module P = Mfb_server.Protocol
+module Server = Mfb_server.Server
+module Client = Mfb_server.Client
+
+let arg_value name default parse =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then
+      match parse Sys.argv.(i + 1) with Some v -> v | None -> default
+    else scan (i + 1)
+  in
+  scan 0
+
+let requests = arg_value "--requests" 240 int_of_string_opt
+let repeat_fraction = arg_value "--repeat" 0.9 float_of_string_opt
+let hot_set = arg_value "--hot" 8 int_of_string_opt
+let jobs = arg_value "--jobs" 1 int_of_string_opt
+let seed = arg_value "--seed" 7 int_of_string_opt
+let out_file = arg_value "--out" "BENCH_server.json" (fun s -> Some s)
+
+(* The request script: each entry is the seed override identifying a
+   distinct synthesis job.  Hot requests draw from [hot_set] fixed
+   seeds; fresh requests get a unique seed each.  Generated once, then
+   replayed verbatim against both servers. *)
+let script =
+  let rng = Random.State.make [| seed |] in
+  let fresh = ref 0 in
+  List.init requests (fun _ ->
+      if Random.State.float rng 1.0 < repeat_fraction then
+        1000 + Random.State.int rng hot_set
+      else begin
+        incr fresh;
+        100_000 + !fresh
+      end)
+
+let submit_of ~id ~job_seed =
+  P.Submit
+    {
+      id;
+      priority = 0;
+      deadline = None;
+      flow = `Ours;
+      spec = P.Benchmark "PCR";
+      overrides =
+        { P.o_seed = Some job_seed; o_tc = None; o_sa_restarts = None };
+    }
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+(* Replay the script: submit + result per entry, recording per-request
+   latency.  Returns (elapsed_s, latencies_ms, payloads, stats). *)
+let replay ~cache_capacity =
+  let server =
+    Server.create
+      { Server.default_config with jobs; cache_capacity; queue_depth = 64 }
+  in
+  let client = Client.in_process server in
+  let latencies = Array.make requests 0.0 in
+  let payloads = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i job_seed ->
+      let id = Printf.sprintf "q%d" i in
+      let r0 = Unix.gettimeofday () in
+      (match Client.call client (submit_of ~id ~job_seed) with
+       | Ok (P.Submitted _) -> ()
+       | Ok other ->
+         fail "request %s: unexpected response %s" id (P.response_to_line other)
+       | Error e -> fail "request %s: %s" id e);
+      (match Client.call client (P.Result id) with
+       | Ok (P.Job_result { result; _ }) ->
+         payloads := Json.to_string result :: !payloads
+       | Ok other ->
+         fail "result %s: unexpected response %s" id (P.response_to_line other)
+       | Error e -> fail "result %s: %s" id e);
+      latencies.(i) <- (Unix.gettimeofday () -. r0) *. 1e3)
+    script;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stats = Server.stats_json server in
+  (elapsed, latencies, List.rev !payloads, stats)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let rec int_at path json =
+  match path with
+  | [] -> (match json with Json.Int i -> i | _ -> 0)
+  | k :: rest ->
+    (match Json.member k json with Some j -> int_at rest j | None -> 0)
+
+let summary name (elapsed, latencies, _payloads, stats) =
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let hits = int_at [ "cache"; "hits" ] stats in
+  let misses = int_at [ "cache"; "misses" ] stats in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let throughput = float_of_int requests /. elapsed in
+  let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+  let computed = int_at [ "computed" ] stats in
+  let shed =
+    int_at [ "shed"; "deadline" ] stats + int_at [ "shed"; "displaced" ] stats
+  in
+  let rejected = int_at [ "rejected" ] stats in
+  Printf.printf
+    "%-10s %6.1f req/s   hit rate %5.1f%%   p50 %6.2f ms   p95 %6.2f ms   \
+     computed %3d   shed %d   rejected %d\n"
+    name throughput (100.0 *. hit_rate) p50 p95 computed shed rejected;
+  Json.Obj
+    [
+      ("elapsed_s", Json.Float elapsed);
+      ("throughput_rps", Json.Float throughput);
+      ("hit_rate", Json.Float hit_rate);
+      ("p50_ms", Json.Float p50);
+      ("p95_ms", Json.Float p95);
+      ("computed", Json.Int computed);
+      ("shed", Json.Int shed);
+      ("rejected", Json.Int rejected);
+    ]
+
+let () =
+  if requests < 1 then fail "--requests must be >= 1";
+  Printf.printf
+    "synthesis-service load generator: %d requests, %.0f%% repeat over %d \
+     hot keys, jobs=%d, seed=%d\n\n"
+    requests (100.0 *. repeat_fraction) hot_set jobs seed;
+  let cached_run = replay ~cache_capacity:128 in
+  let nocache_run = replay ~cache_capacity:0 in
+  let cached = summary "cached" cached_run in
+  let nocache = summary "no-cache" nocache_run in
+  let (ce, _, cp, _) = cached_run and (ne, _, np, _) = nocache_run in
+  if cp <> np then fail "cache transparency violated: payloads differ";
+  Printf.printf "\ncache transparency: all %d payloads byte-identical\n"
+    requests;
+  let speedup = ne /. ce in
+  Printf.printf "speedup (no-cache / cached elapsed): %.1fx\n" speedup;
+  let doc =
+    Json.Obj
+      [
+        ( "workload",
+          Json.Obj
+            [
+              ("requests", Json.Int requests);
+              ("repeat_fraction", Json.Float repeat_fraction);
+              ("hot_set", Json.Int hot_set);
+              ("jobs", Json.Int jobs);
+              ("seed", Json.Int seed);
+              ("benchmark", Json.String "PCR");
+            ] );
+        ("cached", cached);
+        ("no_cache", nocache);
+        ("speedup", Json.Float speedup);
+        ("payloads_identical", Json.Bool (cp = np));
+      ]
+  in
+  Out_channel.with_open_text out_file (fun oc ->
+      Json.to_channel ~indent:1 oc doc);
+  Printf.eprintf "wrote %s\n" out_file

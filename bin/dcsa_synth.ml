@@ -621,6 +621,72 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Print the sequencing graph in Graphviz dot format.")
     Term.(ret (const action $ benchmark_arg $ input_arg))
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let cache_size_arg =
+    let doc =
+      "Capacity of the content-addressed result cache in entries; 0 \
+       disables caching."
+    in
+    Arg.(value & opt int 128 & info [ "cache-size" ] ~doc ~docv:"N")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the result cache (same as --cache-size 0).")
+  in
+  let queue_depth_arg =
+    let doc =
+      "Admission-control bound: at most $(docv) jobs may wait in the queue; \
+       a submission beyond that displaces a strictly lower-priority job or \
+       is rejected."
+    in
+    Arg.(value & opt positive_int 64 & info [ "queue-depth" ] ~doc ~docv:"N")
+  in
+  let batch_arg =
+    let doc = "Jobs dispatched per batch (one virtual tick per batch)." in
+    Arg.(value & opt positive_int 8 & info [ "batch" ] ~doc ~docv:"N")
+  in
+  let serve_jobs_arg =
+    let doc =
+      "Worker domains for batch synthesis.  Responses are bit-for-bit \
+       identical for every value."
+    in
+    Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+  in
+  let action jobs cache_size no_cache queue_depth batch tc seed sa_restarts =
+    if cache_size < 0 then
+      `Error (false, "--cache-size must be non-negative")
+    else begin
+      let cfg =
+        {
+          Mfb_server.Server.jobs;
+          cache_capacity = (if no_cache then 0 else cache_size);
+          queue_depth;
+          batch;
+          flow_config = config_of ~sa_restarts tc seed;
+        }
+      in
+      Mfb_server.Server.serve (Mfb_server.Server.create cfg);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis service: line-delimited JSON requests on stdin \
+          (submit/status/result/stats/shutdown), one JSON response per \
+          line on stdout.  Structurally identical requests are answered \
+          from a content-addressed result cache; queued jobs run in \
+          deterministic batches under admission control.  See \
+          lib/server/protocol.mli for the request format.")
+    Term.(
+      ret
+        (const action $ serve_jobs_arg $ cache_size_arg $ no_cache_arg
+       $ queue_depth_arg $ batch_arg $ tc_arg $ seed_arg $ sa_restarts_arg))
+
 let () =
   let doc =
     "Physical synthesis of flow-based microfluidic biochips with distributed \
@@ -631,4 +697,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; synth_cmd; explore_cmd; info_cmd;
-            control_cmd; dot_cmd; trace_cmd ]))
+            control_cmd; dot_cmd; trace_cmd; serve_cmd ]))

@@ -12,6 +12,26 @@ let default =
   { tc = 2.0; we = 10.0; beta = 0.6; gamma = 0.4;
     sa = Mfb_place.Annealer.default_params; sa_restarts = 1; seed = 42 }
 
+let to_json cfg =
+  let module J = Mfb_util.Json in
+  J.Obj
+    [
+      ("tc", J.Float cfg.tc);
+      ("we", J.Float cfg.we);
+      ("beta", J.Float cfg.beta);
+      ("gamma", J.Float cfg.gamma);
+      ( "sa",
+        J.Obj
+          [
+            ("t0", J.Float cfg.sa.t0);
+            ("t_min", J.Float cfg.sa.t_min);
+            ("alpha", J.Float cfg.sa.alpha);
+            ("i_max", J.Int cfg.sa.i_max);
+          ] );
+      ("sa_restarts", J.Int cfg.sa_restarts);
+      ("seed", J.Int cfg.seed);
+    ]
+
 let validate cfg =
   if cfg.tc <= 0. then invalid_arg "Config: tc must be positive";
   if cfg.we < 0. then invalid_arg "Config: we must be non-negative";

@@ -19,3 +19,8 @@ val default : t
 
 val validate : t -> unit
 (** @raise Invalid_argument when a parameter is out of range. *)
+
+val to_json : t -> Mfb_util.Json.t
+(** Stable field-by-field rendering (annealing schedule nested under
+    ["sa"]) — echoed by the serve protocol's [stats] reply so clients
+    can see the exact parameter set behind cached results. *)

@@ -36,20 +36,88 @@ let of_stages ~benchmark ~flow ~cpu_time ?wall_time ?(stage_times = [])
     metrics;
   }
 
-let to_json r =
+type summary = {
+  s_benchmark : string;
+  s_flow : string;
+  s_execution_time : float;
+  s_utilization : float;
+  s_channel_length_mm : float;
+  s_channel_cache_time : float;
+  s_channel_wash_time : float;
+  s_component_wash_time : float;
+}
+
+let summarize r =
+  {
+    s_benchmark = r.benchmark;
+    s_flow = r.flow;
+    s_execution_time = r.execution_time;
+    s_utilization = r.utilization;
+    s_channel_length_mm = r.channel_length_mm;
+    s_channel_cache_time = r.channel_cache_time;
+    s_channel_wash_time = r.channel_wash_time;
+    s_component_wash_time = r.component_wash_time;
+  }
+
+let summary_to_json s =
   Mfb_util.Json.Obj
-    ([
-       ("benchmark", Mfb_util.Json.String r.benchmark);
-       ("flow", Mfb_util.Json.String r.flow);
-       ("execution_time_s", Mfb_util.Json.Float r.execution_time);
-       ("utilization", Mfb_util.Json.Float r.utilization);
-       ("channel_length_mm", Mfb_util.Json.Float r.channel_length_mm);
-       ("channel_cache_time_s", Mfb_util.Json.Float r.channel_cache_time);
-       ("channel_wash_time_s", Mfb_util.Json.Float r.channel_wash_time);
-       ("component_wash_time_s", Mfb_util.Json.Float r.component_wash_time);
-       ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
-       ("wall_time_s", Mfb_util.Json.Float r.wall_time);
-     ]
+    [
+      ("benchmark", Mfb_util.Json.String s.s_benchmark);
+      ("flow", Mfb_util.Json.String s.s_flow);
+      ("execution_time_s", Mfb_util.Json.Float s.s_execution_time);
+      ("utilization", Mfb_util.Json.Float s.s_utilization);
+      ("channel_length_mm", Mfb_util.Json.Float s.s_channel_length_mm);
+      ("channel_cache_time_s", Mfb_util.Json.Float s.s_channel_cache_time);
+      ("channel_wash_time_s", Mfb_util.Json.Float s.s_channel_wash_time);
+      ("component_wash_time_s", Mfb_util.Json.Float s.s_component_wash_time);
+    ]
+
+let summary_of_json v =
+  let module J = Mfb_util.Json in
+  let ( let* ) = Stdlib.Result.bind in
+  let str k =
+    match J.member k v with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let num k =
+    match J.member k v with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "missing numeric field %S" k)
+  in
+  let* s_benchmark = str "benchmark" in
+  let* s_flow = str "flow" in
+  let* s_execution_time = num "execution_time_s" in
+  let* s_utilization = num "utilization" in
+  let* s_channel_length_mm = num "channel_length_mm" in
+  let* s_channel_cache_time = num "channel_cache_time_s" in
+  let* s_channel_wash_time = num "channel_wash_time_s" in
+  let* s_component_wash_time = num "component_wash_time_s" in
+  Ok
+    {
+      s_benchmark;
+      s_flow;
+      s_execution_time;
+      s_utilization;
+      s_channel_length_mm;
+      s_channel_cache_time;
+      s_channel_wash_time;
+      s_component_wash_time;
+    }
+
+let to_json r =
+  let summary_fields =
+    match summary_to_json (summarize r) with
+    | Mfb_util.Json.Obj fields -> fields
+    | _ -> assert false
+  in
+  Mfb_util.Json.Obj
+    (summary_fields
+    @ [
+        ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
+        ("wall_time_s", Mfb_util.Json.Float r.wall_time);
+      ]
     @
     (* Telemetry aggregates are deterministic (jobs-invariant), unlike
        the timing fields above; present only when a sink was live. *)

@@ -51,4 +51,32 @@ val to_json : t -> Mfb_util.Json.t
 (** Scalar metrics only (no schedule/layout dump).  Includes a
     ["metrics"] object when telemetry aggregates are present. *)
 
+(** {2 Deterministic summary}
+
+    The serving layer caches and replays results, so it needs the
+    subset of {!t} that is a pure function of the request — everything
+    except the timing fields (which vary run to run) and the heavyweight
+    stage outputs.  [summary] round-trips through JSON losslessly:
+    [summary_of_json (summary_to_json s) = Ok s]. *)
+
+type summary = {
+  s_benchmark : string;
+  s_flow : string;
+  s_execution_time : float;
+  s_utilization : float;
+  s_channel_length_mm : float;
+  s_channel_cache_time : float;
+  s_channel_wash_time : float;
+  s_component_wash_time : float;
+}
+
+val summarize : t -> summary
+
+val summary_to_json : summary -> Mfb_util.Json.t
+(** Field names and order match the leading fields of {!to_json}. *)
+
+val summary_of_json : Mfb_util.Json.t -> (summary, string) result
+(** Inverse of {!summary_to_json}; accepts integer-typed numbers for the
+    float fields (the JSON parser types [3] as [Int]). *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type transport =
+  | In_process of Server.t
+  | Process of { pid : int; to_srv : out_channel; from_srv : in_channel }
+
+type t = { transport : transport }
+
+let in_process server = { transport = In_process server }
+
+let spawn argv =
+  if Array.length argv = 0 then invalid_arg "Client.spawn: empty argv";
+  let srv_in_read, srv_in_write = Unix.pipe ~cloexec:false () in
+  let srv_out_read, srv_out_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process argv.(0) argv srv_in_read srv_out_write Unix.stderr
+  in
+  Unix.close srv_in_read;
+  Unix.close srv_out_write;
+  {
+    transport =
+      Process
+        {
+          pid;
+          to_srv = Unix.out_channel_of_descr srv_in_write;
+          from_srv = Unix.in_channel_of_descr srv_out_read;
+        };
+  }
+
+let call t req =
+  match t.transport with
+  | In_process server ->
+    (match Server.handle_line server (Protocol.request_to_line req) with
+     | Some line -> Protocol.response_of_line line
+     | None -> Error "server produced no response")
+  | Process p ->
+    output_string p.to_srv (Protocol.request_to_line req);
+    output_char p.to_srv '\n';
+    flush p.to_srv;
+    (match In_channel.input_line p.from_srv with
+     | Some line -> Protocol.response_of_line line
+     | None -> Error "server closed the connection")
+
+let shutdown t =
+  let resp = call t Protocol.Shutdown in
+  (match t.transport with
+   | In_process _ -> ()
+   | Process p ->
+     close_out_noerr p.to_srv;
+     close_in_noerr p.from_srv;
+     (try ignore (Unix.waitpid [] p.pid) with Unix.Unix_error _ -> ()));
+  resp

@@ -1,0 +1,32 @@
+(** Client helper for the synthesis service.
+
+    Two transports share one call interface:
+
+    - {!in_process} drives a {!Server.t} directly — no pipes, no
+      subprocess — which is what the load generator and the unit tests
+      use;
+    - {!spawn} forks a real [dcsa_synth serve] process and speaks the
+      line protocol over its stdin/stdout, which is what the CI smoke
+      test exercises.
+
+    Both are synchronous: {!call} sends one request and blocks for its
+    response. *)
+
+type t
+
+val in_process : Server.t -> t
+(** Wrap a server living in this process. *)
+
+val spawn : string array -> t
+(** [spawn [| prog; arg; … |]] starts [prog] with its stdin/stdout piped
+    to this client.  The child is expected to speak the {!Protocol} line
+    protocol. *)
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request, wait for one response.  [Error _] on EOF, a
+    malformed response line, or a request the in-process server answered
+    with silence. *)
+
+val shutdown : t -> (Protocol.response, string) result
+(** [call] with {!Protocol.Shutdown}; for a spawned child, also closes
+    the pipes and reaps the process. *)

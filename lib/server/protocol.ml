@@ -1,0 +1,243 @@
+module Json = Mfb_util.Json
+
+type spec =
+  | Benchmark of string
+  | Assay of { text : string; alloc : (int * int * int * int) option }
+
+type overrides = {
+  o_seed : int option;
+  o_tc : float option;
+  o_sa_restarts : int option;
+}
+
+let no_overrides = { o_seed = None; o_tc = None; o_sa_restarts = None }
+
+type request =
+  | Submit of {
+      id : string;
+      priority : int;
+      deadline : int option;
+      flow : [ `Ours | `Ba ];
+      spec : spec;
+      overrides : overrides;
+    }
+  | Status of string
+  | Result of string
+  | Stats
+  | Shutdown
+
+type response =
+  | Submitted of { id : string; key : string }
+  | Rejected of { op : string; id : string; reason : string }
+  | Job_status of { id : string; state : string }
+  | Job_result of { id : string; key : string; result : Json.t }
+  | Stats_reply of Json.t
+  | Goodbye of Json.t
+  | Bad_request of { id : string option; message : string }
+
+(* --- writers --- *)
+
+let request_to_json = function
+  | Submit { id; priority; deadline; flow; spec; overrides } ->
+    let spec_fields =
+      match spec with
+      | Benchmark b -> [ ("benchmark", Json.String b) ]
+      | Assay { text; alloc } ->
+        ("assay", Json.String text)
+        ::
+        (match alloc with
+         | None -> []
+         | Some (m, h, f, d) ->
+           [ ("alloc", Json.List (List.map (fun i -> Json.Int i) [ m; h; f; d ])) ])
+    in
+    let opt name to_j = function
+      | None -> []
+      | Some v -> [ (name, to_j v) ]
+    in
+    Json.Obj
+      ([ ("op", Json.String "submit"); ("id", Json.String id) ]
+      @ spec_fields
+      @ (if priority = 0 then [] else [ ("priority", Json.Int priority) ])
+      @ opt "deadline" (fun d -> Json.Int d) deadline
+      @ (match flow with
+         | `Ours -> []
+         | `Ba -> [ ("flow", Json.String "ba") ])
+      @ opt "seed" (fun s -> Json.Int s) overrides.o_seed
+      @ opt "tc" (fun t -> Json.Float t) overrides.o_tc
+      @ opt "sa_restarts" (fun r -> Json.Int r) overrides.o_sa_restarts)
+  | Status id ->
+    Json.Obj [ ("op", Json.String "status"); ("id", Json.String id) ]
+  | Result id ->
+    Json.Obj [ ("op", Json.String "result"); ("id", Json.String id) ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let response_to_json = function
+  | Submitted { id; key } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "submit");
+        ("id", Json.String id); ("key", Json.String key) ]
+  | Rejected { op; id; reason } ->
+    Json.Obj
+      [ ("ok", Json.Bool false); ("op", Json.String op);
+        ("id", Json.String id); ("reason", Json.String reason) ]
+  | Job_status { id; state } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "status");
+        ("id", Json.String id); ("state", Json.String state) ]
+  | Job_result { id; key; result } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "result");
+        ("id", Json.String id); ("key", Json.String key);
+        ("result", result) ]
+  | Stats_reply stats ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "stats");
+        ("stats", stats) ]
+  | Goodbye stats ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "shutdown");
+        ("stats", stats) ]
+  | Bad_request { id; message } ->
+    Json.Obj
+      ([ ("ok", Json.Bool false); ("op", Json.String "error") ]
+      @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+      @ [ ("message", Json.String message) ])
+
+(* --- readers --- *)
+
+let field k v = Json.member k v
+
+let string_field k v =
+  match field k v with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let opt_int_field k v =
+  match field k v with
+  | None -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
+
+let opt_float_field k v =
+  match field k v with
+  | None -> Ok None
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" k)
+
+let ( let* ) = Stdlib.Result.bind
+
+let parse_spec v =
+  match (field "benchmark" v, field "assay" v) with
+  | Some _, Some _ -> Error "use either \"benchmark\" or \"assay\", not both"
+  | Some (Json.String b), None -> Ok (Benchmark b)
+  | Some _, None -> Error "field \"benchmark\" must be a string"
+  | None, Some (Json.String text) ->
+    let* alloc =
+      match field "alloc" v with
+      | None -> Ok None
+      | Some (Json.List [ Json.Int m; Json.Int h; Json.Int f; Json.Int d ]) ->
+        Ok (Some (m, h, f, d))
+      | Some _ -> Error "field \"alloc\" must be [m,h,f,d]"
+    in
+    Ok (Assay { text; alloc })
+  | None, Some _ -> Error "field \"assay\" must be a string"
+  | None, None -> Error "submit needs \"benchmark\" or \"assay\""
+
+let parse_submit v =
+  let* id = string_field "id" v in
+  let* spec = parse_spec v in
+  let* priority = opt_int_field "priority" v in
+  let* deadline = opt_int_field "deadline" v in
+  let* flow =
+    match field "flow" v with
+    | None | Some (Json.String "ours") -> Ok `Ours
+    | Some (Json.String "ba") -> Ok `Ba
+    | Some _ -> Error "field \"flow\" must be \"ours\" or \"ba\""
+  in
+  let* o_seed = opt_int_field "seed" v in
+  let* o_tc = opt_float_field "tc" v in
+  let* o_sa_restarts = opt_int_field "sa_restarts" v in
+  Ok
+    (Submit
+       {
+         id;
+         priority = Option.value priority ~default:0;
+         deadline;
+         flow;
+         spec;
+         overrides = { o_seed; o_tc; o_sa_restarts };
+       })
+
+let request_of_json v =
+  let* op = string_field "op" v in
+  match op with
+  | "submit" -> parse_submit v
+  | "status" ->
+    let* id = string_field "id" v in
+    Ok (Status id)
+  | "result" ->
+    let* id = string_field "id" v in
+    Ok (Result id)
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let request_of_line line =
+  let* v = Json.of_string line in
+  request_of_json v
+
+let request_to_line r = Json.to_string (request_to_json r)
+
+let response_of_json v =
+  let* ok =
+    match field "ok" v with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "missing boolean field \"ok\""
+  in
+  let* op = string_field "op" v in
+  let id_opt =
+    match field "id" v with Some (Json.String s) -> Some s | _ -> None
+  in
+  if not ok then
+    match op with
+    | "error" ->
+      let* message = string_field "message" v in
+      Ok (Bad_request { id = id_opt; message })
+    | op ->
+      let* id = string_field "id" v in
+      let* reason = string_field "reason" v in
+      Ok (Rejected { op; id; reason })
+  else
+    match op with
+    | "submit" ->
+      let* id = string_field "id" v in
+      let* key = string_field "key" v in
+      Ok (Submitted { id; key })
+    | "status" ->
+      let* id = string_field "id" v in
+      let* state = string_field "state" v in
+      Ok (Job_status { id; state })
+    | "result" ->
+      let* id = string_field "id" v in
+      let* key = string_field "key" v in
+      (match field "result" v with
+       | Some result -> Ok (Job_result { id; key; result })
+       | None -> Error "missing field \"result\"")
+    | "stats" ->
+      (match field "stats" v with
+       | Some stats -> Ok (Stats_reply stats)
+       | None -> Error "missing field \"stats\"")
+    | "shutdown" ->
+      (match field "stats" v with
+       | Some stats -> Ok (Goodbye stats)
+       | None -> Error "missing field \"stats\"")
+    | op -> Error (Printf.sprintf "unknown response op %S" op)
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+let response_of_line line =
+  let* v = Json.of_string line in
+  response_of_json v

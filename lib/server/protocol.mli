@@ -1,0 +1,84 @@
+(** Line-delimited JSON protocol of the synthesis service.
+
+    One request per input line, one JSON response object per line on the
+    way back.  Blank lines and lines starting with [#] are ignored by
+    the server loop, so here-doc scripts can be commented.
+
+    Requests (the ["op"] field selects the operation):
+
+    {v
+    {"op":"submit","id":"r1","benchmark":"PCR"}
+    {"op":"submit","id":"r2","assay":"assay \"x\"\n...","alloc":[3,2,0,2],
+     "priority":5,"deadline":3,"flow":"ours","seed":7}
+    {"op":"status","id":"r1"}
+    {"op":"result","id":"r1"}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    v}
+
+    [submit] carries either a built-in benchmark name or an inline assay
+    text (the {!Mfb_bioassay.Assay_file} format with [\n] escapes);
+    [priority] (default 0, higher runs first), [deadline] (queue ticks
+    the job may wait before being shed; absent = no deadline) and the
+    per-request config overrides [seed] / [tc] / [sa_restarts] are
+    optional.
+
+    Responses repeat the request [id] so scripted clients can correlate;
+    every response carries ["ok"] and ["op"].  [result] payloads contain
+    only the deterministic scalar metrics ({!Mfb_core.Result.summary}),
+    so for a given request they are byte-identical whatever the cache
+    temperature or [--jobs] value of the server. *)
+
+type spec =
+  | Benchmark of string  (** a Table-I benchmark name *)
+  | Assay of {
+      text : string;  (** inline assay-file text *)
+      alloc : (int * int * int * int) option;
+          (** (m,h,f,d); default: minimal allocation covering the assay *)
+    }
+
+type overrides = {
+  o_seed : int option;
+  o_tc : float option;
+  o_sa_restarts : int option;
+}
+
+val no_overrides : overrides
+
+type request =
+  | Submit of {
+      id : string;
+      priority : int;
+      deadline : int option;
+      flow : [ `Ours | `Ba ];
+      spec : spec;
+      overrides : overrides;
+    }
+  | Status of string  (** job id *)
+  | Result of string  (** job id *)
+  | Stats
+  | Shutdown
+
+type response =
+  | Submitted of { id : string; key : string }
+  | Rejected of { op : string; id : string; reason : string }
+      (** admission refusal, shed job, unknown id, bad spec … *)
+  | Job_status of { id : string; state : string }
+      (** state: ["queued"], ["done"], ["shed"] *)
+  | Job_result of { id : string; key : string; result : Mfb_util.Json.t }
+  | Stats_reply of Mfb_util.Json.t
+  | Goodbye of Mfb_util.Json.t  (** shutdown ack carrying final stats *)
+  | Bad_request of { id : string option; message : string }
+      (** malformed request *)
+
+val request_to_json : request -> Mfb_util.Json.t
+val request_of_json : Mfb_util.Json.t -> (request, string) result
+
+val request_of_line : string -> (request, string) result
+val request_to_line : request -> string
+
+val response_to_json : response -> Mfb_util.Json.t
+val response_of_json : Mfb_util.Json.t -> (response, string) result
+
+val response_to_line : response -> string
+val response_of_line : string -> (response, string) result

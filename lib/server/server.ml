@@ -1,0 +1,363 @@
+module Json = Mfb_util.Json
+module Lru = Mfb_util.Lru
+module Telemetry = Mfb_util.Telemetry
+module P = Protocol
+
+type config = {
+  jobs : int;
+  cache_capacity : int;
+  queue_depth : int;
+  batch : int;
+  flow_config : Mfb_core.Config.t;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    cache_capacity = 128;
+    queue_depth = 64;
+    batch = 8;
+    flow_config = Mfb_core.Config.default;
+  }
+
+(* A fully resolved, validated synthesis job — everything needed to run
+   it on any worker domain without touching server state. *)
+type job = {
+  key : Cache_key.t;
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;
+  config : Mfb_core.Config.t;
+  flow : [ `Ours | `Ba ];
+}
+
+type outcome = Done of { key : Cache_key.t; payload : Json.t } | Shed of string
+
+type t = {
+  cfg : config;
+  cache : (Cache_key.t, Json.t) Lru.t option;
+  queue : job Job_queue.t;
+  outcomes : (string, outcome) Hashtbl.t;
+  ids : (string, unit) Hashtbl.t;  (* every accepted id, for dedupe *)
+  mutable tick : int;
+  mutable submitted : int;
+  mutable computed : int;
+  mutable shed_deadline : int;
+  mutable shed_displaced : int;
+  mutable rejected : int;
+  mutable stopping : bool;
+}
+
+let create cfg =
+  if cfg.jobs < 1 then invalid_arg "Server.create: jobs < 1";
+  if cfg.batch < 1 then invalid_arg "Server.create: batch < 1";
+  if cfg.cache_capacity < 0 then
+    invalid_arg "Server.create: cache_capacity < 0";
+  {
+    cfg;
+    cache =
+      (if cfg.cache_capacity = 0 then None
+       else Some (Lru.create ~name:"results" ~capacity:cfg.cache_capacity ()));
+    queue = Job_queue.create ~depth:cfg.queue_depth ();
+    outcomes = Hashtbl.create 64;
+    ids = Hashtbl.create 64;
+    tick = 0;
+    submitted = 0;
+    computed = 0;
+    shed_deadline = 0;
+    shed_displaced = 0;
+    rejected = 0;
+    stopping = false;
+  }
+
+let shutting_down t = t.stopping
+
+(* --- request resolution --- *)
+
+let ( let* ) = Stdlib.Result.bind
+
+let resolve_spec = function
+  | P.Benchmark name ->
+    (match Mfb_core.Suite.find name with
+     | Some (inst : Mfb_core.Suite.instance) -> Ok (inst.graph, inst.allocation)
+     | None ->
+       Error
+         (Printf.sprintf "unknown benchmark %S; try: %s" name
+            (String.concat ", " Mfb_core.Suite.names)))
+  | P.Assay { text; alloc } ->
+    (match Mfb_bioassay.Assay_file.parse text with
+     | Error e ->
+       Error (Format.asprintf "assay: %a" Mfb_bioassay.Assay_file.pp_error e)
+     | Ok graph ->
+       let* allocation =
+         match alloc with
+         | None -> Ok (Mfb_component.Allocation.minimal_for graph)
+         | Some v ->
+           (match Mfb_component.Allocation.of_vector v with
+            | a -> Ok a
+            | exception Invalid_argument msg -> Error msg)
+       in
+       Ok (graph, allocation))
+
+let apply_overrides (cfg : Mfb_core.Config.t) (o : P.overrides) =
+  let cfg =
+    match o.o_seed with None -> cfg | Some seed -> { cfg with seed }
+  in
+  let cfg = match o.o_tc with None -> cfg | Some tc -> { cfg with tc } in
+  let cfg =
+    match o.o_sa_restarts with
+    | None -> cfg
+    | Some sa_restarts -> { cfg with sa_restarts }
+  in
+  match Mfb_core.Config.validate cfg with
+  | () -> Ok cfg
+  | exception Invalid_argument msg -> Error msg
+
+let resolve_job t ~flow ~overrides spec =
+  let* graph, allocation = resolve_spec spec in
+  let* () =
+    if Mfb_component.Allocation.covers allocation graph then Ok ()
+    else
+      Error
+        (Printf.sprintf "allocation %s does not cover every operation kind"
+           (Mfb_component.Allocation.to_string allocation))
+  in
+  let* config = apply_overrides t.cfg.flow_config overrides in
+  let flow_name = match flow with `Ours -> "ours" | `Ba -> "ba" in
+  let key = Cache_key.make ~flow:flow_name ~config ~graph ~allocation () in
+  Ok { key; graph; allocation; config; flow }
+
+(* --- batch execution --- *)
+
+let run_job job =
+  let r =
+    match job.flow with
+    | `Ours ->
+      Mfb_core.Flow.run ~config:job.config ~jobs:1 job.graph job.allocation
+    | `Ba -> Mfb_core.Baseline.run ~config:job.config job.graph job.allocation
+  in
+  Mfb_core.Result.(summary_to_json (summarize r))
+
+(* One virtual tick: shed expired jobs, then run up to [batch] jobs in
+   dispatch order — identical keys computed once, results recorded and
+   cached in dispatch order so every counter and payload is a pure
+   function of the request sequence. *)
+let process_batch t =
+  t.tick <- t.tick + 1;
+  Telemetry.incr ~cat:"serve" "batches";
+  let dispatched, dead =
+    Job_queue.pop_batch t.queue ~now:t.tick ~max:t.cfg.batch
+  in
+  List.iter
+    (fun (it : job Job_queue.item) ->
+      t.shed_deadline <- t.shed_deadline + 1;
+      Telemetry.incr ~cat:"serve" "shed.deadline";
+      Hashtbl.replace t.outcomes it.id
+        (Shed
+           (Printf.sprintf
+              "deadline exceeded: submitted at tick %d with deadline %d, \
+               dispatch attempted at tick %d"
+              it.submitted
+              (Option.value it.deadline ~default:0)
+              t.tick)))
+    dead;
+  (* Keys neither cached nor already seen in this batch run once. *)
+  let seen = Hashtbl.create 8 in
+  let unique =
+    List.filter
+      (fun (it : job Job_queue.item) ->
+        let key = it.payload.key in
+        let cached =
+          match t.cache with Some c -> Lru.mem c key | None -> false
+        in
+        if cached || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      dispatched
+  in
+  let payloads =
+    Mfb_util.Pool.map ~label:"serve-job" ~jobs:t.cfg.jobs
+      (fun (it : job Job_queue.item) -> run_job it.payload)
+      unique
+  in
+  t.computed <- t.computed + List.length unique;
+  let fresh = Hashtbl.create 8 in
+  List.iter2
+    (fun (it : job Job_queue.item) payload ->
+      Hashtbl.replace fresh it.payload.key payload;
+      (match t.cache with
+       | Some c -> Lru.add c it.payload.key payload
+       | None -> ());
+      Hashtbl.replace t.outcomes it.id (Done { key = it.payload.key; payload }))
+    unique payloads;
+  (* Batch duplicates and jobs answered by an earlier batch's cache
+     entry: the [Lru.find] counts the reuse as a hit. *)
+  List.iter
+    (fun (it : job Job_queue.item) ->
+      if not (Hashtbl.mem t.outcomes it.id) then begin
+        let key = it.payload.key in
+        let payload =
+          match t.cache with
+          | Some c ->
+            (match Lru.find c key with
+             | Some p -> p
+             | None -> Hashtbl.find fresh key)
+          | None -> Hashtbl.find fresh key
+        in
+        Hashtbl.replace t.outcomes it.id (Done { key; payload })
+      end)
+    dispatched
+
+let drain_until t id =
+  while
+    (not (Hashtbl.mem t.outcomes id)) && Job_queue.length t.queue > 0
+  do
+    process_batch t
+  done
+
+(* --- stats --- *)
+
+let stats_json t =
+  let cache_json =
+    match t.cache with
+    | None -> Json.Null
+    | Some c ->
+      let s = Lru.stats c in
+      Json.Obj
+        [
+          ("capacity", Json.Int (Lru.capacity c));
+          ("entries", Json.Int (Lru.length c));
+          ("hits", Json.Int s.hits);
+          ("misses", Json.Int s.misses);
+          ("evictions", Json.Int s.evictions);
+        ]
+  in
+  Json.Obj
+    [
+      ("tick", Json.Int t.tick);
+      ("submitted", Json.Int t.submitted);
+      ("computed", Json.Int t.computed);
+      ("cache", cache_json);
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Job_queue.depth t.queue));
+            ("queued", Json.Int (Job_queue.length t.queue));
+          ] );
+      ( "shed",
+        Json.Obj
+          [
+            ("deadline", Json.Int t.shed_deadline);
+            ("displaced", Json.Int t.shed_displaced);
+          ] );
+      ("rejected", Json.Int t.rejected);
+      ("jobs", Json.Int t.cfg.jobs);
+      ("config", Mfb_core.Config.to_json t.cfg.flow_config);
+    ]
+
+(* --- request handling --- *)
+
+let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
+  if Hashtbl.mem t.ids id then
+    P.Rejected { op = "submit"; id; reason = "duplicate id" }
+  else
+    match resolve_job t ~flow ~overrides spec with
+    | Error reason ->
+      t.rejected <- t.rejected + 1;
+      P.Rejected { op = "submit"; id; reason }
+    | Ok job ->
+      let hit =
+        match t.cache with Some c -> Lru.find c job.key | None -> None
+      in
+      (match hit with
+       | Some payload ->
+         Hashtbl.replace t.ids id ();
+         t.submitted <- t.submitted + 1;
+         Hashtbl.replace t.outcomes id (Done { key = job.key; payload });
+         P.Submitted { id; key = Cache_key.to_hex job.key }
+       | None ->
+         (match
+            Job_queue.submit t.queue ~now:t.tick ~id ~priority ?deadline job
+          with
+          | Job_queue.Refused reason ->
+            t.rejected <- t.rejected + 1;
+            Telemetry.incr ~cat:"serve" "rejected";
+            P.Rejected { op = "submit"; id; reason }
+          | admission ->
+            (match admission with
+             | Job_queue.Displaced shed ->
+               t.shed_displaced <- t.shed_displaced + 1;
+               Telemetry.incr ~cat:"serve" "shed.displaced";
+               Hashtbl.replace t.outcomes shed.id
+                 (Shed
+                    (Printf.sprintf
+                       "displaced by higher-priority submission %S" id))
+             | _ -> ());
+            Hashtbl.replace t.ids id ();
+            t.submitted <- t.submitted + 1;
+            Telemetry.gauge ~cat:"serve" "queue.depth"
+              (float_of_int (Job_queue.length t.queue));
+            while Job_queue.length t.queue >= t.cfg.batch do
+              process_batch t
+            done;
+            P.Submitted { id; key = Cache_key.to_hex job.key }))
+
+let handle t req =
+  match req with
+  | P.Submit { id; priority; deadline; flow; spec; overrides } ->
+    handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides
+  | P.Status id ->
+    (match Hashtbl.find_opt t.outcomes id with
+     | Some (Done _) -> P.Job_status { id; state = "done" }
+     | Some (Shed _) -> P.Job_status { id; state = "shed" }
+     | None ->
+       if Job_queue.position t.queue id <> None then
+         P.Job_status { id; state = "queued" }
+       else P.Bad_request { id = Some id; message = "unknown id" })
+  | P.Result id ->
+    if
+      (not (Hashtbl.mem t.outcomes id))
+      && Job_queue.position t.queue id <> None
+    then drain_until t id;
+    (match Hashtbl.find_opt t.outcomes id with
+     | Some (Done { key; payload }) ->
+       P.Job_result { id; key = Cache_key.to_hex key; result = payload }
+     | Some (Shed reason) -> P.Rejected { op = "result"; id; reason }
+     | None -> P.Bad_request { id = Some id; message = "unknown id" })
+  | P.Stats -> P.Stats_reply (stats_json t)
+  | P.Shutdown ->
+    t.stopping <- true;
+    P.Goodbye (stats_json t)
+
+let handle_line t line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else
+    let response =
+      match P.request_of_line trimmed with
+      | Error message -> P.Bad_request { id = None; message }
+      | Ok req ->
+        (match handle t req with
+         | resp -> resp
+         | exception exn ->
+           P.Bad_request
+             { id = None; message = "internal: " ^ Printexc.to_string exn })
+    in
+    Some (P.response_to_line response)
+
+let serve ?(input = stdin) ?(output = stdout) t =
+  let rec loop () =
+    if not t.stopping then
+      match In_channel.input_line input with
+      | None -> ()
+      | Some line ->
+        (match handle_line t line with
+         | None -> ()
+         | Some resp ->
+           output_string output resp;
+           output_char output '\n';
+           flush output);
+        loop ()
+  in
+  loop ()

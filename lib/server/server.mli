@@ -1,0 +1,66 @@
+(** The synthesis service: a long-lived process answering
+    {!Protocol} requests with content-addressed caching, batched
+    dispatch, and admission control.
+
+    {2 Execution model}
+
+    Requests are handled synchronously in input order.  [submit]
+    resolves the spec, computes the {!Cache_key}, and either answers
+    from the result cache (a {e hit} — the job never enters the queue)
+    or enqueues the job under admission control.  Queued jobs run in
+    {e batches}: whenever the queue reaches the batch size, or a
+    [result] request needs a still-queued job, the server pops up to
+    [batch] jobs in dispatch order, drops the ones whose deadline
+    expired, deduplicates identical keys, and synthesises the remainder
+    on up to [jobs] domains via {!Mfb_util.Pool} — each task itself
+    running with [jobs = 1], so pools never nest.  One virtual tick
+    elapses per batch; deadlines are measured in ticks, never
+    wall-clock.
+
+    {2 Determinism}
+
+    For a fixed request script, every response except the [stats] /
+    [shutdown] counters is bit-for-bit identical whatever the [jobs]
+    value and whatever the cache temperature: result payloads carry only
+    the deterministic {!Mfb_core.Result.summary}, batch dispatch order
+    is a pure function of (priority, submission order), and the pool
+    preserves task order.  Caching is therefore {e transparent} — it can
+    only change latency, never a payload. *)
+
+type config = {
+  jobs : int;            (** worker domains for batch synthesis *)
+  cache_capacity : int;  (** LRU entries; [0] disables caching *)
+  queue_depth : int;     (** admission-control bound *)
+  batch : int;           (** max jobs dispatched per tick *)
+  flow_config : Mfb_core.Config.t;
+      (** base synthesis parameters; [submit] overrides apply on top *)
+}
+
+val default_config : config
+(** [jobs = 1], 128 cache entries, queue depth 64, batch 8, paper
+    parameters. *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on non-positive [jobs] or [batch], negative
+    [cache_capacity], or [queue_depth < 1]. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Process one request (advancing queue batches as needed). *)
+
+val handle_line : t -> string -> string option
+(** Parse one input line and answer it serialized; [None] for blank and
+    [#]-comment lines.  Never raises on malformed input — parse errors
+    come back as an [error] response line. *)
+
+val shutting_down : t -> bool
+(** True once a [shutdown] request has been handled. *)
+
+val stats_json : t -> Mfb_util.Json.t
+(** Tick count, submissions, computations, cache hit/miss/eviction,
+    queue occupancy, shed/rejection counters, and the server config. *)
+
+val serve : ?input:in_channel -> ?output:out_channel -> t -> unit
+(** Run the line loop (default stdin/stdout) until [shutdown] or EOF,
+    flushing after every response. *)

@@ -1,0 +1,59 @@
+(** Generic size-bounded LRU cache.
+
+    The serving layer memoises expensive pure computations (full
+    synthesis runs keyed by a content-addressed request hash); this is
+    the bounded map underneath.  Entries are evicted strictly
+    least-recently-used first, where "use" is a {!find} hit or an
+    {!add}.  The structure is deterministic: for any sequence of
+    operations the set of resident keys, the eviction order, and the
+    {!stats} counters are pure functions of that sequence.
+
+    Not domain-safe — confine one cache to one domain (the server owns
+    its cache on the dispatching domain; pool workers never touch it).
+
+    When a {!Telemetry} sink is installed, every hit / miss / eviction
+    also bumps a counter under cat ["cache"] named
+    [<name>.hit] / [<name>.miss] / [<name>.eviction], so cache
+    behaviour lands in the same deterministic metric aggregates as the
+    rest of the flow. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;        (** [find] calls that returned a value *)
+  misses : int;      (** [find] calls that returned [None] *)
+  evictions : int;   (** entries dropped by capacity pressure *)
+}
+
+val create : ?name:string -> capacity:int -> unit -> ('k, 'v) t
+(** [create ~capacity ()] is an empty cache holding at most [capacity]
+    entries.  [name] (default ["lru"]) prefixes the telemetry counters.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [find t k] returns the cached value and marks [k] most recently
+    used; counts a hit or a miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure lookup: no recency update, no counter. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** [add t k v] binds [k] to [v] as the most recently used entry,
+    replacing any previous binding of [k].  When the cache is full the
+    least-recently-used entry is evicted (counted). *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop [k] if present (not counted as an eviction). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry; counters are kept. *)
+
+val stats : ('k, 'v) t -> stats
+
+val keys_mru_first : ('k, 'v) t -> 'k list
+(** Resident keys, most recently used first (for tests and
+    introspection). *)

@@ -37,6 +37,16 @@ val init : ?label:string -> ?jobs:int -> int -> (int -> 'a) -> 'a array
     an atomic cursor; [f] must therefore be safe to call concurrently on
     distinct indices.  Result slot [i] always holds [f i].  [label]
     (default ["task"]) names the per-task telemetry spans.
+
+    Degenerate inputs never overshoot: exactly
+    [min (jobs - 1) (n - 1)] helper domains are spawned, so [jobs]
+    larger than the task count costs nothing beyond the tasks
+    themselves.  [n = 0] returns [[||]] immediately — no domain is
+    spawned and no telemetry collector or span is created — and [n = 1]
+    (like [jobs = 1]) takes the sequential fast path on the calling
+    domain.  On that fast path the task-collector tree (and therefore
+    every merged metric) is identical to a [jobs = 1] run; only worker
+    busy-tracks are absent, as no worker domain exists.
     @raise Invalid_argument if [jobs < 1] or [n < 0]. *)
 
 val map : ?label:string -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,91 @@
+The synthesis service speaks line-delimited JSON on stdin/stdout.
+Blank lines and # comments are ignored, so here-doc scripts can be
+annotated.  Submitting the same benchmark twice computes once: the
+second submission is answered from the content-addressed cache with a
+byte-identical payload (same key, same result object), visible below as
+computed=1 with one cache hit in the shutdown stats.
+
+  $ ../../bin/dcsa_synth.exe serve <<'EOF'
+  > # PCR twice: the second submit hits the cache
+  > {"op":"submit","id":"r1","benchmark":"PCR"}
+  > {"op":"result","id":"r1"}
+  > 
+  > {"op":"submit","id":"r2","benchmark":"PCR"}
+  > {"op":"result","id":"r2"}
+  > {"op":"shutdown"}
+  > EOF
+  {"ok":true,"op":"submit","id":"r1","key":"add01f5a3910b675"}
+  {"ok":true,"op":"result","id":"r1","key":"add01f5a3910b675","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"submit","id":"r2","key":"add01f5a3910b675"}
+  {"ok":true,"op":"result","id":"r2","key":"add01f5a3910b675","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":2,"computed":1,"cache":{"capacity":128,"entries":1,"hits":1,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42}}}
+
+Inline assays are content-addressed structurally: the same graph spelled
+with different operation ids and line order maps to the same key.
+
+  $ ../../bin/dcsa_synth.exe serve <<'EOF'
+  > {"op":"submit","id":"a1","assay":"assay \"mini\"\nfluid a 4e-7\nfluid b 1e-6\nop 0 mix 5 a\nop 1 heat 4 b\nedge 0 1","alloc":[1,1,0,0]}
+  > {"op":"submit","id":"a2","assay":"assay \"mini\"\nfluid b 1e-6\nfluid a 4e-7\nop 1 mix 5 a\nop 0 heat 4 b\nedge 1 0","alloc":[1,1,0,0]}
+  > {"op":"stats"}
+  > EOF
+  {"ok":true,"op":"submit","id":"a1","key":"b82b7cd409f970ea"}
+  {"ok":true,"op":"submit","id":"a2","key":"b82b7cd409f970ea"}
+  {"ok":true,"op":"stats","stats":{"tick":0,"submitted":2,"computed":0,"cache":{"capacity":128,"entries":0,"hits":0,"misses":2,"evictions":0},"queue":{"depth":64,"queued":2},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42}}}
+
+Admission control: with --queue-depth 1 the second submission is
+refused; a higher-priority third displaces the queued job, whose result
+then reports the shedding.  (--batch 50 keeps the queue from
+dispatching until a result is demanded.)
+
+  $ ../../bin/dcsa_synth.exe serve --queue-depth 1 --batch 50 <<'EOF'
+  > {"op":"submit","id":"j1","benchmark":"PCR","seed":1}
+  > {"op":"submit","id":"j2","benchmark":"PCR","seed":2}
+  > {"op":"submit","id":"j3","benchmark":"PCR","seed":3,"priority":5}
+  > {"op":"status","id":"j1"}
+  > {"op":"result","id":"j1"}
+  > {"op":"result","id":"j3"}
+  > EOF
+  {"ok":true,"op":"submit","id":"j1","key":"a3f9ffccf96395be"}
+  {"ok":false,"op":"submit","id":"j2","reason":"queue full (depth 1) and priority 0 does not outrank the weakest queued job"}
+  {"ok":true,"op":"submit","id":"j3","key":"660471bae385017c"}
+  {"ok":true,"op":"status","id":"j1","state":"shed"}
+  {"ok":false,"op":"result","id":"j1","reason":"displaced by higher-priority submission \"j3\""}
+  {"ok":true,"op":"result","id":"j3","key":"660471bae385017c","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+
+Malformed input never kills the server:
+
+  $ ../../bin/dcsa_synth.exe serve <<'EOF'
+  > {oops
+  > {"op":"fly"}
+  > {"op":"submit","id":"x","benchmark":"NOPE"}
+  > {"op":"result","id":"ghost"}
+  > EOF
+  {"ok":false,"op":"error","message":"offset 1: expected '\"'"}
+  {"ok":false,"op":"error","message":"unknown op \"fly\""}
+  {"ok":false,"op":"submit","id":"x","reason":"unknown benchmark \"NOPE\"; try: PCR, IVD, CPA, Synthetic1, Synthetic2, Synthetic3, Synthetic4"}
+  {"ok":false,"op":"error","id":"ghost","message":"unknown id"}
+
+Serving is deterministic and the cache is transparent: the same script
+replayed at --jobs 1, --jobs 2, and with the cache disabled produces
+bit-for-bit identical responses (result payloads carry only the
+deterministic summary metrics, never timings).
+
+  $ cat > script.txt <<'EOF'
+  > {"op":"submit","id":"q0","benchmark":"PCR","seed":1}
+  > {"op":"submit","id":"q1","benchmark":"PCR","seed":2}
+  > {"op":"submit","id":"q2","benchmark":"PCR","seed":1}
+  > {"op":"submit","id":"q3","benchmark":"PCR","seed":3,"priority":2}
+  > {"op":"submit","id":"q4","benchmark":"PCR","seed":2}
+  > {"op":"submit","id":"q5","benchmark":"PCR","seed":1}
+  > {"op":"result","id":"q0"}
+  > {"op":"result","id":"q1"}
+  > {"op":"result","id":"q2"}
+  > {"op":"result","id":"q3"}
+  > {"op":"result","id":"q4"}
+  > {"op":"result","id":"q5"}
+  > EOF
+  $ ../../bin/dcsa_synth.exe serve --jobs 1 --batch 4 < script.txt > jobs1.out
+  $ ../../bin/dcsa_synth.exe serve --jobs 2 --batch 4 < script.txt > jobs2.out
+  $ ../../bin/dcsa_synth.exe serve --jobs 2 --batch 4 --no-cache < script.txt > nocache.out
+  $ cmp jobs1.out jobs2.out && cmp jobs1.out nocache.out && echo responses-invariant
+  responses-invariant

@@ -46,6 +46,74 @@ let test_pool_empty_and_validation () =
   Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1);
   Alcotest.(check bool) "default_jobs <= 8" true (Pool.default_jobs () <= 8)
 
+(* --- degenerate shapes: jobs > n, n = 0, n = 1 --- *)
+
+module Telemetry = Mfb_util.Telemetry
+
+let worker_spans sink =
+  List.length
+    (List.filter
+       (fun (e : Telemetry.event) ->
+         e.Telemetry.cat = "pool"
+         && e.Telemetry.name = "worker"
+         &&
+         match e.Telemetry.ph with Telemetry.Complete _ -> true | _ -> false)
+       (Telemetry.events sink))
+
+let test_pool_jobs_exceed_tasks () =
+  (* More jobs than tasks must clamp to one domain per task: exactly
+     min(jobs, n) worker tracks, never eight domains for two tasks. *)
+  Test_util.with_fake_sink (fun sink ->
+      Alcotest.(check (list int))
+        "results" [ 0; 2 ]
+        (Pool.map ~jobs:8 (fun x -> 2 * x) [ 0; 1 ]);
+      Alcotest.(check int) "worker tracks" 2 (worker_spans sink));
+  (* and without telemetry it is still just correct *)
+  Alcotest.(check (list int))
+    "no-sink results" [ 1; 2; 3 ]
+    (Pool.map ~jobs:100 succ [ 0; 1; 2 ])
+
+let test_pool_no_tasks_no_domains () =
+  Test_util.with_fake_sink (fun sink ->
+      Alcotest.(check (list int)) "map []" [] (Pool.map ~jobs:4 succ []);
+      Alcotest.(check int) "init 0" 0 (Array.length (Pool.init ~jobs:4 0 succ));
+      Alcotest.(check int) "no events at all" 0
+        (List.length (Telemetry.events sink)))
+
+let noisy_task i =
+  Telemetry.incr ~cat:"t" "task.count";
+  Telemetry.observe ~cat:"t" "task.val" (float_of_int i);
+  2 * i
+
+let test_pool_single_task_matches_fast_path () =
+  (* jobs > 1 with one task takes the sequential fast path; the whole
+     event stream — collector tree, spans, fake-clock timestamps — must
+     be indistinguishable from jobs = 1. *)
+  let run jobs =
+    Test_util.with_fake_sink (fun sink ->
+        ignore (Pool.init ~jobs 1 noisy_task);
+        (Telemetry.events sink, Telemetry.metrics sink))
+  in
+  let events1, metrics1 = run 1 in
+  let events8, metrics8 = run 8 in
+  Alcotest.(check bool) "event streams equal" true (events1 = events8);
+  Alcotest.(check bool) "metrics equal" true (metrics1 = metrics8);
+  Alcotest.(check int) "no worker tracks" 0
+    (List.length
+       (List.filter (fun (e : Telemetry.event) -> e.Telemetry.cat = "pool")
+          events8))
+
+let test_pool_metrics_jobs_invariant_degenerate () =
+  (* Aggregates must not depend on jobs even when jobs > n. *)
+  let run jobs =
+    Test_util.with_fake_sink (fun sink ->
+        ignore (Pool.init ~jobs 3 noisy_task);
+        Telemetry.metrics sink)
+  in
+  let m1 = run 1 in
+  Alcotest.(check bool) "jobs=5 aggregates" true (m1 = run 5);
+  Alcotest.(check bool) "jobs=3 aggregates" true (m1 = run 3)
+
 let pool_suites =
   [
     ( "util.pool",
@@ -58,6 +126,14 @@ let pool_suites =
           test_pool_propagates_worker_exception;
         Alcotest.test_case "empty inputs and validation" `Quick
           test_pool_empty_and_validation;
+        Alcotest.test_case "jobs exceeding tasks clamps domains" `Quick
+          test_pool_jobs_exceed_tasks;
+        Alcotest.test_case "no tasks spawns no domains" `Quick
+          test_pool_no_tasks_no_domains;
+        Alcotest.test_case "single task matches fast path" `Quick
+          test_pool_single_task_matches_fast_path;
+        Alcotest.test_case "degenerate aggregates jobs-invariant" `Quick
+          test_pool_metrics_jobs_invariant_degenerate;
       ] );
   ]
 
@@ -66,4 +142,4 @@ let () =
     (pool_suites @ Test_util.suites @ Test_bioassay.suites
    @ Test_component.suites @ Test_schedule.suites @ Test_place.suites
    @ Test_route.suites @ Test_core.suites @ Test_control.suites
-   @ Test_sim.suites @ Test_parallel.suites)
+   @ Test_sim.suites @ Test_server.suites @ Test_parallel.suites)

@@ -1,0 +1,520 @@
+(* Tests for the serving layer: content-addressed cache keys, the
+   bounded priority queue, the wire protocol, and end-to-end server
+   behaviour (cache transparency, admission control, determinism). *)
+
+module Json = Mfb_util.Json
+module Cache_key = Mfb_server.Cache_key
+module Job_queue = Mfb_server.Job_queue
+module P = Mfb_server.Protocol
+module Server = Mfb_server.Server
+module Client = Mfb_server.Client
+module Config = Mfb_core.Config
+module Allocation = Mfb_component.Allocation
+
+let qtest = Test_util.qtest
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let parse_assay text =
+  match Mfb_bioassay.Assay_file.parse text with
+  | Ok g -> g
+  | Error e ->
+    Alcotest.failf "assay parse: %a" Mfb_bioassay.Assay_file.pp_error e
+
+(* --- cache-key canonicalization --- *)
+
+(* One structural graph, five textual spellings. *)
+let base_assay =
+  "assay \"t\"\n\
+   fluid a 4e-7\n\
+   fluid b 1e-6\n\
+   op 0 mix 5 a\n\
+   op 1 heat 4 b\n\
+   op 2 detect 3 a\n\
+   edge 0 1\n\
+   edge 1 2\n"
+
+(* Same graph: comments, blank lines, tabs-as-spaces, shuffled line
+   order. *)
+let messy_assay =
+  "# a comment\n\
+   assay \"t\"\n\
+   fluid b 1e-6\n\
+   fluid a 4e-7\n\
+   \n\
+   edge 1 2\n\
+   op 2   detect   3   a    # trailing comment\n\
+   op 0 mix 5 a\n\
+   \n\
+   edge 0 1\n\
+   op 1 heat 4 b\n"
+
+(* Same graph with the dense operation ids permuted 0->2, 1->0, 2->1:
+   the op named 2 is now the mix, edges follow the relabelling. *)
+let relabelled_assay =
+  "assay \"t\"\n\
+   fluid a 4e-7\n\
+   fluid b 1e-6\n\
+   op 2 mix 5 a\n\
+   op 0 heat 4 b\n\
+   op 1 detect 3 a\n\
+   edge 2 0\n\
+   edge 0 1\n"
+
+let diffusion_assay =
+  "assay \"t\"\n\
+   fluid a 5e-7\n\
+   fluid b 1e-6\n\
+   op 0 mix 5 a\n\
+   op 1 heat 4 b\n\
+   op 2 detect 3 a\n\
+   edge 0 1\n\
+   edge 1 2\n"
+
+let duration_assay =
+  "assay \"t\"\n\
+   fluid a 4e-7\n\
+   fluid b 1e-6\n\
+   op 0 mix 6 a\n\
+   op 1 heat 4 b\n\
+   op 2 detect 3 a\n\
+   edge 0 1\n\
+   edge 1 2\n"
+
+let structure_assay =
+  "assay \"t\"\n\
+   fluid a 4e-7\n\
+   fluid b 1e-6\n\
+   op 0 mix 5 a\n\
+   op 1 heat 4 b\n\
+   op 2 detect 3 a\n\
+   edge 0 1\n\
+   edge 0 2\n"
+
+let key_of ?(flow = "ours") ?(config = Config.default) ?allocation text =
+  let graph = parse_assay text in
+  let allocation =
+    match allocation with
+    | Some a -> a
+    | None -> Allocation.minimal_for (parse_assay base_assay)
+  in
+  Cache_key.make ~flow ~config ~graph ~allocation ()
+
+let test_key_textual_invariance () =
+  let base = key_of base_assay in
+  Alcotest.(check bool)
+    "whitespace/comments/line order" true
+    (Cache_key.equal base (key_of messy_assay));
+  Alcotest.(check bool)
+    "op-id relabelling" true
+    (Cache_key.equal base (key_of relabelled_assay));
+  Alcotest.(check bool)
+    "fingerprints agree" true
+    (Cache_key.graph_fingerprint (parse_assay base_assay)
+    = Cache_key.graph_fingerprint (parse_assay relabelled_assay))
+
+let test_key_content_sensitivity () =
+  let base = key_of base_assay in
+  let differs name k =
+    Alcotest.(check bool) name false (Cache_key.equal base k)
+  in
+  differs "diffusion coefficient" (key_of diffusion_assay);
+  differs "op duration" (key_of duration_assay);
+  differs "graph structure" (key_of structure_assay);
+  differs "flow" (key_of ~flow:"ba" base_assay);
+  differs "allocation"
+    (key_of ~allocation:(Allocation.of_vector (2, 1, 0, 1)) base_assay);
+  Alcotest.(check bool)
+    "structure fingerprint differs" false
+    (Cache_key.graph_fingerprint (parse_assay base_assay)
+    = Cache_key.graph_fingerprint (parse_assay structure_assay))
+
+let test_key_config_sensitivity () =
+  let base = key_of base_assay in
+  let differs name config =
+    Alcotest.(check bool) name false
+      (Cache_key.equal base (key_of ~config base_assay))
+  in
+  differs "tc" { Config.default with tc = 3.0 };
+  differs "we" { Config.default with we = 11.0 };
+  differs "beta" { Config.default with beta = 0.5 };
+  differs "gamma" { Config.default with gamma = 0.5 };
+  differs "seed" { Config.default with seed = 43 };
+  differs "sa_restarts" { Config.default with sa_restarts = 2 };
+  differs "sa params"
+    {
+      Config.default with
+      sa = { Config.default.sa with Mfb_place.Annealer.i_max = 151 };
+    }
+
+let test_key_hex_stable () =
+  let k = key_of base_assay in
+  Alcotest.(check string) "hex is hex" (Cache_key.to_hex k)
+    (Cache_key.to_hex (key_of messy_assay));
+  Alcotest.(check int) "16 nibbles" 16 (String.length (Cache_key.to_hex k))
+
+(* --- job queue --- *)
+
+let submit_ok q ~now ~id ~priority ?deadline payload =
+  match Job_queue.submit q ~now ~id ~priority ?deadline payload with
+  | Job_queue.Admitted -> ()
+  | Job_queue.Displaced _ -> Alcotest.failf "%s unexpectedly displaced" id
+  | Job_queue.Refused r -> Alcotest.failf "%s refused: %s" id r
+
+let ids items = List.map (fun (it : _ Job_queue.item) -> it.Job_queue.id) items
+
+let test_queue_dispatch_order () =
+  let q = Job_queue.create ~depth:8 () in
+  submit_ok q ~now:0 ~id:"a" ~priority:0 ();
+  submit_ok q ~now:0 ~id:"b" ~priority:5 ();
+  submit_ok q ~now:0 ~id:"c" ~priority:0 ();
+  submit_ok q ~now:0 ~id:"d" ~priority:5 ();
+  Alcotest.(check (list string))
+    "priority desc, FIFO within" [ "b"; "d"; "a"; "c" ]
+    (ids (Job_queue.queued q));
+  Alcotest.(check bool) "position of a" true (Job_queue.position q "a" = Some 2);
+  Alcotest.(check bool) "absent id" true (Job_queue.position q "z" = None);
+  let dispatched, expired = Job_queue.pop_batch q ~now:1 ~max:3 in
+  Alcotest.(check (list string)) "batch" [ "b"; "d"; "a" ] (ids dispatched);
+  Alcotest.(check int) "nothing expired" 0 (List.length expired);
+  Alcotest.(check int) "c remains" 1 (Job_queue.length q)
+
+let test_queue_admission () =
+  let q = Job_queue.create ~depth:2 () in
+  submit_ok q ~now:0 ~id:"a" ~priority:1 ();
+  submit_ok q ~now:0 ~id:"b" ~priority:0 ();
+  (match Job_queue.submit q ~now:0 ~id:"c" ~priority:0 () with
+   | Job_queue.Refused _ -> ()
+   | _ -> Alcotest.fail "equal-priority submit to full queue must refuse");
+  (match Job_queue.submit q ~now:0 ~id:"d" ~priority:2 () with
+   | Job_queue.Displaced shed ->
+     Alcotest.(check string) "weakest shed" "b" shed.Job_queue.id
+   | _ -> Alcotest.fail "higher-priority submit must displace");
+  Alcotest.(check (list string))
+    "queue after displacement" [ "d"; "a" ]
+    (ids (Job_queue.queued q));
+  Alcotest.check_raises "depth < 1"
+    (Invalid_argument "Job_queue.create: depth < 1") (fun () ->
+      ignore (Job_queue.create ~depth:0 ()))
+
+let test_queue_deadlines () =
+  let q = Job_queue.create ~depth:8 () in
+  submit_ok q ~now:0 ~id:"a" ~priority:0 ~deadline:0 ();
+  submit_ok q ~now:0 ~id:"b" ~priority:0 ~deadline:5 ();
+  submit_ok q ~now:0 ~id:"c" ~priority:0 ();
+  let dispatched, expired = Job_queue.pop_batch q ~now:1 ~max:10 in
+  Alcotest.(check (list string)) "a expired" [ "a" ] (ids expired);
+  Alcotest.(check (list string)) "b,c dispatched" [ "b"; "c" ] (ids dispatched);
+  (* expired jobs do not consume batch slots *)
+  let q2 = Job_queue.create ~depth:8 () in
+  submit_ok q2 ~now:0 ~id:"x" ~priority:9 ~deadline:0 ();
+  submit_ok q2 ~now:0 ~id:"y" ~priority:0 ();
+  let dispatched, expired = Job_queue.pop_batch q2 ~now:1 ~max:1 in
+  Alcotest.(check (list string)) "x expired" [ "x" ] (ids expired);
+  Alcotest.(check (list string)) "y still dispatched" [ "y" ] (ids dispatched)
+
+(* --- protocol --- *)
+
+let sample_requests =
+  [
+    P.Submit
+      {
+        id = "r1";
+        priority = 0;
+        deadline = None;
+        flow = `Ours;
+        spec = P.Benchmark "PCR";
+        overrides = P.no_overrides;
+      };
+    P.Submit
+      {
+        id = "r2";
+        priority = 7;
+        deadline = Some 3;
+        flow = `Ba;
+        spec = P.Assay { text = base_assay; alloc = Some (2, 1, 0, 1) };
+        overrides = { P.o_seed = Some 9; o_tc = Some 1.5; o_sa_restarts = Some 2 };
+      };
+    P.Status "r1";
+    P.Result "r2";
+    P.Stats;
+    P.Shutdown;
+  ]
+
+let sample_responses =
+  [
+    P.Submitted { id = "r1"; key = "00ff00ff00ff00ff" };
+    P.Rejected { op = "submit"; id = "r9"; reason = "queue full" };
+    P.Job_status { id = "r1"; state = "queued" };
+    P.Job_result
+      { id = "r2"; key = "00ff00ff00ff00ff"; result = Json.Obj [ ("x", Json.Int 1) ] };
+    P.Stats_reply (Json.Obj [ ("submitted", Json.Int 3) ]);
+    P.Goodbye Json.Null;
+    P.Bad_request { id = None; message = "not json" };
+    P.Bad_request { id = Some "r3"; message = "unknown id" };
+  ]
+
+let test_protocol_request_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (P.request_to_line r) true
+        (P.request_of_line (P.request_to_line r) = Ok r))
+    sample_requests
+
+let test_protocol_response_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (P.response_to_line r) true
+        (P.response_of_line (P.response_to_line r) = Ok r))
+    sample_responses
+
+let test_protocol_malformed () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) line true (is_error (P.request_of_line line)))
+    [
+      "nonsense";
+      "{}";
+      {|{"op":"fly"}|};
+      {|{"op":"submit"}|};
+      {|{"op":"submit","id":"a"}|};
+      {|{"op":"submit","id":"a","benchmark":"PCR","assay":"x"}|};
+      {|{"op":"submit","id":"a","benchmark":"PCR","priority":"high"}|};
+      {|{"op":"status"}|};
+      {|[1,2]|};
+    ]
+
+(* --- server behaviour --- *)
+
+let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) () =
+  Server.create
+    {
+      Server.jobs;
+      cache_capacity = cache;
+      queue_depth = depth;
+      batch;
+      flow_config = Config.default;
+    }
+
+let call_exn client req =
+  match Client.call client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "call failed: %s" e
+
+let submit ?(priority = 0) ?deadline ?(seed = None) ~id spec =
+  P.Submit
+    {
+      id;
+      priority;
+      deadline;
+      flow = `Ours;
+      spec;
+      overrides = { P.no_overrides with P.o_seed = seed };
+    }
+
+let pcr = P.Benchmark "PCR"
+
+let test_server_cache_hit_identical () =
+  let s = server () in
+  let c = Client.in_process s in
+  (match call_exn c (submit ~id:"a" pcr) with
+   | P.Submitted _ -> ()
+   | r -> Alcotest.failf "submit: %s" (P.response_to_line r));
+  let r1 =
+    match call_exn c (P.Result "a") with
+    | P.Job_result { result; _ } -> Json.to_string result
+    | r -> Alcotest.failf "result: %s" (P.response_to_line r)
+  in
+  ignore (call_exn c (submit ~id:"b" pcr));
+  let r2 =
+    match call_exn c (P.Result "b") with
+    | P.Job_result { result; _ } -> Json.to_string result
+    | r -> Alcotest.failf "result: %s" (P.response_to_line r)
+  in
+  Alcotest.(check string) "byte-identical payload" r1 r2;
+  match call_exn c P.Stats with
+  | P.Stats_reply stats ->
+    let get path =
+      List.fold_left
+        (fun j k -> Option.bind j (Json.member k))
+        (Some stats) path
+    in
+    Alcotest.(check bool) "one compute" true
+      (get [ "computed" ] = Some (Json.Int 1));
+    Alcotest.(check bool) "one hit" true
+      (get [ "cache"; "hits" ] = Some (Json.Int 1))
+  | r -> Alcotest.failf "stats: %s" (P.response_to_line r)
+
+let test_server_handle_line_hygiene () =
+  let s = server () in
+  Alcotest.(check bool) "blank" true (Server.handle_line s "   " = None);
+  Alcotest.(check bool) "comment" true
+    (Server.handle_line s "# warm-up note" = None);
+  (match Server.handle_line s "{oops" with
+   | Some line ->
+     (match P.response_of_line line with
+      | Ok (P.Bad_request _) -> ()
+      | _ -> Alcotest.failf "expected error response, got %s" line)
+   | None -> Alcotest.fail "malformed line must produce a response");
+  match Server.handle_line s {|{"op":"shutdown"}|} with
+  | Some _ -> Alcotest.(check bool) "stopping" true (Server.shutting_down s)
+  | None -> Alcotest.fail "shutdown must answer"
+
+let test_server_rejections () =
+  let s = server () in
+  let c = Client.in_process s in
+  (match call_exn c (submit ~id:"a" (P.Benchmark "NOPE")) with
+   | P.Rejected { reason; _ } ->
+     Alcotest.(check bool) "reason names benchmark" true
+       (contains ~sub:"NOPE" reason)
+   | r -> Alcotest.failf "unknown benchmark: %s" (P.response_to_line r));
+  ignore (call_exn c (submit ~id:"dup" pcr));
+  (match call_exn c (submit ~id:"dup" pcr) with
+   | P.Rejected { reason = "duplicate id"; _ } -> ()
+   | r -> Alcotest.failf "duplicate id: %s" (P.response_to_line r));
+  (match call_exn c (P.Result "ghost") with
+   | P.Bad_request { id = Some "ghost"; _ } -> ()
+   | r -> Alcotest.failf "unknown result: %s" (P.response_to_line r));
+  match call_exn c (P.Status "ghost") with
+  | P.Bad_request _ -> ()
+  | r -> Alcotest.failf "unknown status: %s" (P.response_to_line r)
+
+let test_server_admission_and_shedding () =
+  (* batch larger than anything we queue: dispatch only on demand *)
+  let s = server ~depth:2 ~batch:50 () in
+  let c = Client.in_process s in
+  let seed n = Some n in
+  ignore (call_exn c (submit ~id:"a" ~seed:(seed 1) pcr));
+  ignore (call_exn c (submit ~id:"b" ~seed:(seed 2) pcr));
+  (match call_exn c (submit ~id:"c" ~seed:(seed 3) pcr) with
+   | P.Rejected { op = "submit"; id = "c"; _ } -> ()
+   | r -> Alcotest.failf "overflow submit: %s" (P.response_to_line r));
+  (match call_exn c (submit ~id:"d" ~priority:3 ~seed:(seed 4) pcr) with
+   | P.Submitted { id = "d"; _ } -> ()
+   | r -> Alcotest.failf "priority submit: %s" (P.response_to_line r));
+  (* "b" (lowest priority, latest) was displaced to admit "d" *)
+  (match call_exn c (P.Status "b") with
+   | P.Job_status { state = "shed"; _ } -> ()
+   | r -> Alcotest.failf "displaced status: %s" (P.response_to_line r));
+  (match call_exn c (P.Result "b") with
+   | P.Rejected { op = "result"; id = "b"; reason } ->
+     Alcotest.(check bool) "reason mentions displacement" true
+       (contains ~sub:"displaced" reason)
+   | r -> Alcotest.failf "displaced result: %s" (P.response_to_line r));
+  (match call_exn c (P.Status "a") with
+   | P.Job_status { state = "queued"; _ } -> ()
+   | r -> Alcotest.failf "queued status: %s" (P.response_to_line r));
+  (match call_exn c (P.Result "a") with
+   | P.Job_result _ -> ()
+   | r -> Alcotest.failf "queued result: %s" (P.response_to_line r));
+  match call_exn c (P.Status "a") with
+  | P.Job_status { state = "done"; _ } -> ()
+  | r -> Alcotest.failf "done status: %s" (P.response_to_line r)
+
+let test_server_deadline_shed () =
+  let s = server ~batch:3 () in
+  let c = Client.in_process s in
+  ignore (call_exn c (submit ~id:"a" ~seed:(Some 1) pcr));
+  ignore (call_exn c (submit ~id:"b" ~deadline:0 ~seed:(Some 2) pcr));
+  (* third submission fills the batch and triggers dispatch at tick 1,
+     past b's deadline of tick 0 *)
+  ignore (call_exn c (submit ~id:"c" ~seed:(Some 3) pcr));
+  (match call_exn c (P.Status "b") with
+   | P.Job_status { state = "shed"; _ } -> ()
+   | r -> Alcotest.failf "deadline status: %s" (P.response_to_line r));
+  (match call_exn c (P.Result "b") with
+   | P.Rejected { reason; _ } ->
+     Alcotest.(check bool) "reason mentions deadline" true
+       (contains ~sub:"deadline" reason)
+   | r -> Alcotest.failf "deadline result: %s" (P.response_to_line r));
+  List.iter
+    (fun id ->
+      match call_exn c (P.Result id) with
+      | P.Job_result _ -> ()
+      | r -> Alcotest.failf "%s result: %s" id (P.response_to_line r))
+    [ "a"; "c" ]
+
+(* --- determinism: cold jobs=1 ≡ warm ≡ jobs=2, enforced by qcheck --- *)
+
+(* A script is a list of submissions drawn from a tiny seed pool (so
+   repeats are likely) followed by a result request per id. *)
+let script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 6) (pair (int_bound 3) (int_bound 2)))
+
+let script_lines prefix spec_seeds =
+  let submits =
+    List.mapi
+      (fun i (seed, priority) ->
+        P.request_to_line
+          (submit
+             ~id:(Printf.sprintf "%s%d" prefix i)
+             ~priority ~seed:(Some seed) pcr))
+      spec_seeds
+  in
+  let results =
+    List.mapi
+      (fun i _ ->
+        P.request_to_line (P.Result (Printf.sprintf "%s%d" prefix i)))
+      spec_seeds
+  in
+  submits @ results
+
+let run_script s lines = List.filter_map (Server.handle_line s) lines
+
+let prop_server_responses_invariant =
+  qtest ~count:20 "cold jobs=1 = warm = jobs=2 responses" script_gen
+    (fun spec_seeds ->
+      let lines = script_lines "q" spec_seeds in
+      let cold = run_script (server ~jobs:1 ~batch:4 ()) lines in
+      let parallel = run_script (server ~jobs:2 ~batch:4 ()) lines in
+      let warm_server = server ~jobs:1 ~batch:4 () in
+      (* prime the cache with the same jobs under different ids *)
+      ignore (run_script warm_server (script_lines "w" spec_seeds));
+      let warm = run_script warm_server lines in
+      cold = parallel && cold = warm)
+
+let suites =
+  [
+    ( "server.cache_key",
+      [
+        Alcotest.test_case "textual invariance" `Quick
+          test_key_textual_invariance;
+        Alcotest.test_case "content sensitivity" `Quick
+          test_key_content_sensitivity;
+        Alcotest.test_case "config sensitivity" `Quick
+          test_key_config_sensitivity;
+        Alcotest.test_case "hex form" `Quick test_key_hex_stable;
+      ] );
+    ( "server.job_queue",
+      [
+        Alcotest.test_case "dispatch order" `Quick test_queue_dispatch_order;
+        Alcotest.test_case "admission control" `Quick test_queue_admission;
+        Alcotest.test_case "deadlines" `Quick test_queue_deadlines;
+      ] );
+    ( "server.protocol",
+      [
+        Alcotest.test_case "request round-trip" `Quick
+          test_protocol_request_roundtrip;
+        Alcotest.test_case "response round-trip" `Quick
+          test_protocol_response_roundtrip;
+        Alcotest.test_case "malformed requests" `Quick test_protocol_malformed;
+      ] );
+    ( "server.serve",
+      [
+        Alcotest.test_case "cache hit is byte-identical" `Quick
+          test_server_cache_hit_identical;
+        Alcotest.test_case "line hygiene" `Quick test_server_handle_line_hygiene;
+        Alcotest.test_case "rejections" `Quick test_server_rejections;
+        Alcotest.test_case "admission and displacement" `Quick
+          test_server_admission_and_shedding;
+        Alcotest.test_case "deadline shedding" `Quick test_server_deadline_shed;
+        prop_server_responses_invariant;
+      ] );
+  ]

@@ -455,10 +455,84 @@ let prop_json_roundtrip_pretty =
   qtest "of_string inverts pretty to_string" json_gen (fun v ->
       Json.of_string (Json.to_string ~indent:2 v) = Ok v)
 
+(* Floats whose [float_repr] text parses back to the same double: the
+   writer prints non-integer floats with 12 significant digits, so stick
+   to binary fractions m/2^k and short decimals d*10^-e that need fewer.
+   Integer floats exercise the "%.1f" branch, huge ones the exponent
+   form. *)
+let roundtrip_float_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map2
+          (fun m k -> float_of_int m /. float_of_int (1 lsl k))
+          (int_range (-9999) 9999) (int_bound 8);
+        map2
+          (fun d e -> float_of_string (Printf.sprintf "%de-%d" d e))
+          (int_range (-999) 999) (int_bound 6);
+        map (fun e -> float_of_string (Printf.sprintf "1e%d" e))
+          (int_range 15 30);
+        oneofl [ 0.; -0.; 1e15; 1e15 -. 1.; 1e-300; 0.5; -0.125 ];
+      ])
+
+(* Every byte 0x00-0xff: quotes and backslashes hit the two-char
+   escapes, other control bytes the \u form, and high bytes pass through
+   raw — all of which the parser must invert. *)
+let nasty_string_gen =
+  QCheck2.Gen.(string_size (int_bound 12) ~gen:(map Char.chr (int_bound 255)))
+
+let json_full_gen =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 map (fun i -> Json.Int i) int;
+                 map (fun f -> Json.Float f) roundtrip_float_gen;
+                 map (fun b -> Json.Bool b) bool;
+                 return Json.Null;
+                 map (fun s -> Json.String s) nasty_string_gen;
+               ]
+           in
+           if n = 0 then leaf
+           else
+             oneof
+               [
+                 leaf;
+                 map (fun l -> Json.List l)
+                   (list_size (int_bound 4) (self (n / 2)));
+                 map (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair nasty_string_gen (self (n / 2))));
+               ]))
+
+(* The parser types digit-only text as Int, so integer-valued Floats
+   come back as Float only because the writer always prints a decimal
+   point; this property proves that invariant holds across both
+   renderers. *)
+let prop_json_roundtrip_full =
+  qtest ~count:500 "full round-trip incl. floats and escapes" json_full_gen
+    (fun v ->
+      Json.of_string (Json.to_string v) = Ok v
+      && Json.of_string (Json.to_string ~indent:2 v) = Ok v)
+
+let test_json_numeric_edges () =
+  let rt v = Json.of_string (Json.to_string v) = Ok v in
+  Alcotest.(check bool) "max_int" true (rt (Json.Int max_int));
+  Alcotest.(check bool) "min_int" true (rt (Json.Int min_int));
+  Alcotest.(check bool) "1e15 boundary" true (rt (Json.Float 1e15));
+  Alcotest.(check bool) "below 1e15" true (rt (Json.Float (1e15 -. 1.)));
+  Alcotest.(check bool) "negative zero" true (rt (Json.Float (-0.)));
+  Alcotest.(check bool) "huge exponent" true (rt (Json.Float 1e300));
+  Alcotest.(check bool) "tiny exponent" true (rt (Json.Float 1e-300))
+
 (* --- Telemetry --- *)
 
 module Telemetry = Mfb_util.Telemetry
 module Pool = Mfb_util.Pool
+module Lru = Mfb_util.Lru
 
 (* A fake clock (1 s per call) makes timestamps and durations
    reproducible; [Fun.protect] guarantees the global sink never leaks
@@ -638,6 +712,93 @@ let test_telemetry_jsonl () =
           | _ -> Alcotest.failf "bad JSONL line: %s" line)
         lines)
 
+(* --- Lru --- *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity c);
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check int) "two entries" 2 (Lru.length c);
+  Alcotest.(check bool) "find hit" true (Lru.find c "a" = Some 1);
+  Alcotest.(check bool) "find miss" true (Lru.find c "z" = None);
+  Alcotest.(check bool) "mem" true (Lru.mem c "b");
+  Lru.remove c "b";
+  Alcotest.(check bool) "removed" false (Lru.mem c "b");
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Lru.create: capacity < 1")
+    (fun () -> ignore (Lru.create ~capacity:0 ()))
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* LRU "a" evicted *)
+  Alcotest.(check (list string)) "b,c resident" [ "c"; "b" ]
+    (Lru.keys_mru_first c);
+  ignore (Lru.find c "b");
+  (* "b" now MRU, so adding evicts "c" *)
+  Lru.add c "d" 4;
+  Alcotest.(check (list string)) "find refreshes recency" [ "d"; "b" ]
+    (Lru.keys_mru_first c);
+  (* replacing a resident key must not evict *)
+  Lru.add c "b" 20;
+  Alcotest.(check int) "replace keeps size" 2 (Lru.length c);
+  Alcotest.(check bool) "replace updates value" true (Lru.find c "b" = Some 20);
+  let s = Lru.stats c in
+  Alcotest.(check int) "evictions" 2 s.Lru.evictions
+
+let test_lru_stats_and_telemetry () =
+  with_fake_sink (fun sink ->
+      let c = Lru.create ~name:"t" ~capacity:1 () in
+      ignore (Lru.find c "a");
+      Lru.add c "a" 1;
+      ignore (Lru.find c "a");
+      Lru.add c "b" 2;
+      let s = Lru.stats c in
+      Alcotest.(check int) "hits" 1 s.Lru.hits;
+      Alcotest.(check int) "misses" 1 s.Lru.misses;
+      Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+      let counters =
+        List.filter_map
+          (fun (m : Telemetry.metric) ->
+            match m.mdata with
+            | Telemetry.Counter n when m.mcat = "cache" -> Some (m.mname, n)
+            | _ -> None)
+          (Telemetry.metrics sink)
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " counted") true
+            (List.assoc_opt name counters = Some 1))
+        [ "t.hit"; "t.miss"; "t.eviction" ])
+
+(* Model check: an LRU of capacity k holds exactly the last k distinct
+   keys of the access sequence (finds of resident keys count as
+   accesses), in recency order. *)
+let prop_lru_matches_model =
+  qtest "matches reference model"
+    QCheck2.Gen.(
+      pair (int_range 1 4) (small_list (pair (int_bound 8) (int_bound 100))))
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap () in
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          Lru.add c k v;
+          model := (k, v) :: List.remove_assoc k !model;
+          if List.length !model > cap then
+            model :=
+              List.filteri (fun i _ -> i < cap) !model)
+        ops;
+      Lru.length c = List.length !model
+      && Lru.keys_mru_first c = List.map fst !model
+      && List.for_all (fun (k, v) -> Lru.find c k = Some v) !model)
+
 let suites =
   [
     ( "util.pqueue",
@@ -712,8 +873,18 @@ let suites =
           test_json_parse_containers;
         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
         Alcotest.test_case "member" `Quick test_json_member;
+        Alcotest.test_case "numeric edges" `Quick test_json_numeric_edges;
         prop_json_roundtrip;
         prop_json_roundtrip_pretty;
+        prop_json_roundtrip_full;
+      ] );
+    ( "util.lru",
+      [
+        Alcotest.test_case "basics" `Quick test_lru_basics;
+        Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        Alcotest.test_case "stats and telemetry" `Quick
+          test_lru_stats_and_telemetry;
+        prop_lru_matches_model;
       ] );
     ( "util.telemetry",
       [
