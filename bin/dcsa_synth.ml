@@ -621,6 +621,51 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Print the sequencing graph in Graphviz dot format.")
     Term.(ret (const action $ benchmark_arg $ input_arg))
 
+(* --- worker --- *)
+
+let fault_plan_arg =
+  let doc =
+    "JSON fault-injection plan (see lib/cluster/fault.mli).  Faults are \
+     keyed by (worker slot, per-process job index), so replays from the \
+     same plan are bit-for-bit reproducible."
+  in
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "fault-plan" ] ~doc ~docv:"FILE")
+
+let worker_cmd =
+  let index_arg =
+    let doc = "Fleet slot index of this worker (set by the supervisor)." in
+    Arg.(value & opt int 0 & info [ "index" ] ~doc ~docv:"N")
+  in
+  let action index fault_plan tc seed sa_restarts =
+    let fault =
+      match fault_plan with
+      | None -> Ok Mfb_cluster.Fault.empty
+      | Some path -> Mfb_cluster.Fault.of_file path
+    in
+    match fault with
+    | Error msg -> `Error (false, msg)
+    | Ok fault ->
+      Mfb_cluster.Worker_main.run ~fault ~index
+        ~config:(config_of ~sa_restarts tc seed)
+        stdin stdout;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run one fleet worker: answer submit/stats/shutdown protocol \
+          lines on stdin with one response line each on stdout.  Spawned \
+          by 'serve --fleet N'; base config flags must match the \
+          dispatching server's so answers are byte-identical to \
+          in-process synthesis.")
+    Term.(
+      ret
+        (const action $ index_arg $ fault_plan_arg $ tc_arg $ seed_arg
+       $ sa_restarts_arg))
+
 (* --- serve --- *)
 
 let serve_cmd =
@@ -656,21 +701,98 @@ let serve_cmd =
     in
     Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
   in
-  let action jobs cache_size no_cache queue_depth batch tc seed sa_restarts =
+  let fleet_arg =
+    let doc =
+      "Dispatch batches to $(docv) supervised worker processes instead of \
+       in-process domains; 0 (the default) keeps everything in-process.  \
+       Response payloads are byte-identical for every fleet size — worker \
+       crashes, stalls and garbage are retried on another worker or \
+       degraded back to in-process synthesis."
+    in
+    Arg.(value & opt int 0 & info [ "fleet" ] ~doc ~docv:"N")
+  in
+  let worker_timeout_arg =
+    let doc = "Per-job worker response deadline in seconds." in
+    Arg.(
+      value & opt float 30.0 & info [ "worker-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let max_retries_arg =
+    let doc =
+      "Extra dispatch attempts per job before degrading to in-process \
+       synthesis."
+    in
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~doc ~docv:"N")
+  in
+  let worker_bin_arg =
+    let doc =
+      "Executable spawned for fleet workers (defaults to this binary)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-bin" ] ~doc ~docv:"PATH")
+  in
+  let action jobs cache_size no_cache queue_depth batch fleet fault_plan
+      worker_timeout max_retries worker_bin tc seed sa_restarts =
     if cache_size < 0 then
       `Error (false, "--cache-size must be non-negative")
+    else if fleet < 0 then `Error (false, "--fleet must be non-negative")
+    else if max_retries < 0 then
+      `Error (false, "--max-retries must be non-negative")
     else begin
-      let cfg =
+      let base_cfg =
         {
-          Mfb_server.Server.jobs;
+          Mfb_server.Server.default_config with
+          jobs;
           cache_capacity = (if no_cache then 0 else cache_size);
           queue_depth;
           batch;
           flow_config = config_of ~sa_restarts tc seed;
         }
       in
-      Mfb_server.Server.serve (Mfb_server.Server.create cfg);
-      `Ok ()
+      if fleet = 0 then begin
+        Mfb_server.Server.serve (Mfb_server.Server.create base_cfg);
+        `Ok ()
+      end
+      else begin
+        let bin =
+          match worker_bin with Some p -> p | None -> Sys.executable_name
+        in
+        (* Workers must resolve submissions against the same base config
+           as the server, or answers would diverge from --fleet 0. *)
+        let worker_argv slot =
+          Array.of_list
+            ([ bin; "worker"; "--index"; string_of_int slot;
+               "--tc"; Printf.sprintf "%.17g" tc;
+               "--seed"; string_of_int seed;
+               "--sa-restarts"; string_of_int sa_restarts ]
+            @ (match fault_plan with
+               | None -> []
+               | Some path -> [ "--fault-plan"; path ]))
+        in
+        let cluster =
+          Mfb_cluster.Cluster.create
+            {
+              (Mfb_cluster.Cluster.default_config ~worker_argv ~size:fleet) with
+              timeout = worker_timeout;
+              max_retries;
+            }
+        in
+        let cfg =
+          {
+            base_cfg with
+            dispatch = Some (Mfb_cluster.Cluster.dispatch cluster);
+            extra_stats =
+              Some
+                (fun () ->
+                  [ ("cluster", Mfb_cluster.Cluster.stats_json cluster) ]);
+          }
+        in
+        Fun.protect
+          ~finally:(fun () -> Mfb_cluster.Cluster.stop cluster)
+          (fun () -> Mfb_server.Server.serve (Mfb_server.Server.create cfg));
+        `Ok ()
+      end
     end
   in
   Cmd.v
@@ -680,12 +802,16 @@ let serve_cmd =
           (submit/status/result/stats/shutdown), one JSON response per \
           line on stdout.  Structurally identical requests are answered \
           from a content-addressed result cache; queued jobs run in \
-          deterministic batches under admission control.  See \
+          deterministic batches under admission control.  With --fleet N \
+          batches are dispatched to supervised worker processes with \
+          automatic respawn, retry and in-process degradation.  See \
           lib/server/protocol.mli for the request format.")
     Term.(
       ret
         (const action $ serve_jobs_arg $ cache_size_arg $ no_cache_arg
-       $ queue_depth_arg $ batch_arg $ tc_arg $ seed_arg $ sa_restarts_arg))
+       $ queue_depth_arg $ batch_arg $ fleet_arg $ fault_plan_arg
+       $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg $ tc_arg
+       $ seed_arg $ sa_restarts_arg))
 
 let () =
   let doc =
@@ -697,4 +823,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; synth_cmd; explore_cmd; info_cmd;
-            control_cmd; dot_cmd; trace_cmd; serve_cmd ]))
+            control_cmd; dot_cmd; trace_cmd; serve_cmd; worker_cmd ]))

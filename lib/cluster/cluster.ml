@@ -1,0 +1,103 @@
+module Json = Mfb_util.Json
+module P = Mfb_server.Protocol
+module Server = Mfb_server.Server
+
+type config = {
+  size : int;
+  worker_argv : int -> string array;
+  timeout : float;
+  hb_timeout : float;
+  max_retries : int;
+  backoff_cap : int;
+  heartbeat : bool;
+}
+
+let default_config ~worker_argv ~size =
+  {
+    size;
+    worker_argv;
+    timeout = Dispatcher.default_config.Dispatcher.timeout;
+    hb_timeout = Dispatcher.default_config.Dispatcher.hb_timeout;
+    max_retries = Dispatcher.default_config.Dispatcher.max_retries;
+    backoff_cap = 8;
+    heartbeat = Dispatcher.default_config.Dispatcher.heartbeat;
+  }
+
+type t = {
+  cfg : config;
+  sup : Supervisor.t;
+  dstats : Dispatcher.stats;
+  mutable stopped : bool;
+}
+
+let create cfg =
+  if cfg.size < 1 then invalid_arg "Cluster.create: size < 1";
+  (* A worker dying mid-write must be a fault, not a fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  {
+    cfg;
+    sup =
+      Supervisor.create ~size:cfg.size ~backoff_cap:cfg.backoff_cap
+        cfg.worker_argv;
+    dstats = Dispatcher.make_stats ();
+    stopped = false;
+  }
+
+(* The wire request for a job is its original submit spec: the worker
+   re-resolves and re-runs the identical deterministic computation, so
+   a worker answer and an in-process answer are the same bytes. *)
+let job_to_line (job : Server.job) ~wire_id =
+  P.request_to_line
+    (P.Submit
+       {
+         id = wire_id;
+         priority = 0;
+         deadline = None;
+         flow = job.Server.flow;
+         spec = job.Server.spec;
+         overrides = job.Server.overrides;
+       })
+
+let payload_of_line ~wire_id line =
+  match P.response_of_line line with
+  | Ok (P.Job_result { id; result; _ }) when id = wire_id -> Some result
+  | Ok _ | Error _ -> None
+
+let dispatch t jobs =
+  let dcfg =
+    {
+      Dispatcher.timeout = t.cfg.timeout;
+      hb_timeout = t.cfg.hb_timeout;
+      max_retries = t.cfg.max_retries;
+      heartbeat = t.cfg.heartbeat;
+    }
+  in
+  Dispatcher.run_batch ~cfg:dcfg ~sup:t.sup ~stats:t.dstats
+    ~degrade:Server.run_job ~to_line:job_to_line ~of_line:payload_of_line
+    jobs
+
+let stats t = t.dstats
+let respawns t = Supervisor.respawns t.sup
+
+let stats_json t =
+  let d = t.dstats in
+  Json.Obj
+    [
+      ("fleet", Json.Int t.cfg.size);
+      ("respawns", Json.Int (Supervisor.respawns t.sup));
+      ("spawn_failures", Json.Int (Supervisor.spawn_failures t.sup));
+      ("dispatched", Json.Int d.Dispatcher.dispatched);
+      ("retries", Json.Int d.Dispatcher.retries);
+      ("degraded", Json.Int d.Dispatcher.degraded);
+      ("crashes", Json.Int d.Dispatcher.crashes);
+      ("timeouts", Json.Int d.Dispatcher.timeouts);
+      ("garbage", Json.Int d.Dispatcher.garbage);
+      ("heartbeat_failures", Json.Int d.Dispatcher.heartbeat_failures);
+    ]
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Supervisor.stop t.sup
+  end

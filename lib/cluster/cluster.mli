@@ -1,0 +1,65 @@
+(** The worker fleet, packaged as a {!Mfb_server.Server} dispatch hook.
+
+    [create] builds a {!Supervisor} over [size] spawned
+    [dcsa_synth worker] processes and returns a handle whose
+    {!dispatch} has exactly the signature of the server's batch
+    runner: resolved jobs in, summary payloads out, order preserved.
+    Wire each side up with
+
+    {[
+      let cluster = Cluster.create cfg in
+      let server =
+        Server.create
+          { Server.default_config with
+            dispatch = Some (Cluster.dispatch cluster);
+            extra_stats =
+              Some (fun () -> [ ("cluster", Cluster.stats_json cluster) ]);
+          }
+    ]}
+
+    The determinism contract of the serving layer extends to the fleet:
+    workers recompute the identical deterministic flow from the job's
+    original spec and overrides (so [worker_argv] must start workers
+    with the same base config as the server), recovery re-dispatches or
+    degrades to the same in-process computation, and response payloads
+    are therefore byte-identical to [--fleet 0] for every fleet size
+    and every fault schedule.  Faults move counters, never bytes.
+
+    [create] ignores SIGPIPE process-wide: a write into a crashed
+    worker's pipe must surface as a per-job fault, not kill the
+    service. *)
+
+type config = {
+  size : int;                        (** worker processes *)
+  worker_argv : int -> string array; (** slot -> argv; must establish the
+                                         server's base flow config *)
+  timeout : float;                   (** per-job response deadline, s *)
+  hb_timeout : float;                (** heartbeat deadline, s *)
+  max_retries : int;                 (** extra attempts before degrading *)
+  backoff_cap : int;                 (** max respawn backoff, ticks *)
+  heartbeat : bool;                  (** ping workers at batch start *)
+}
+
+val default_config : worker_argv:(int -> string array) -> size:int -> config
+(** {!Dispatcher.default_config} deadlines, retries 2, backoff cap 8,
+    heartbeat on. *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument if [size < 1]. *)
+
+val dispatch : t -> Mfb_server.Server.job list -> Mfb_util.Json.t list
+(** Run one batch on the fleet (see {!Dispatcher.run_batch}); falls back
+    to {!Mfb_server.Server.run_job} in-process when a job exhausts its
+    retries or the fleet is fully down. *)
+
+val stats : t -> Dispatcher.stats
+val respawns : t -> int
+
+val stats_json : t -> Mfb_util.Json.t
+(** Fleet size plus respawn / spawn-failure / retry / degradation /
+    crash / timeout / garbage / heartbeat counters. *)
+
+val stop : t -> unit
+(** Kill and reap every worker.  Idempotent. *)

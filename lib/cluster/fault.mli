@@ -1,0 +1,60 @@
+(** Seeded, deterministic fault injection for the worker fleet.
+
+    A {e fault plan} maps [(worker slot, per-process job index)] pairs to
+    misbehaviours.  A worker consults the plan just before answering its
+    [n]-th synthesis request ([n] counted since {e its own} process
+    start, 0-based, heartbeats excluded), so a respawned worker replays
+    its schedule from job 0 — "crash on the first job" poisons a slot
+    reproducibly, which is exactly what the supervisor tests need.
+
+    Plans are plain JSON so the CLI, the chaos bench, and the cram tests
+    share one format:
+
+    {v
+    {"faults":[
+      {"worker":0,"job":0,"kind":"crash"},
+      {"worker":1,"job":2,"kind":"stall"},
+      {"worker":0,"job":1,"kind":"garbage"},
+      {"worker":1,"job":0,"kind":"truncate"},
+      {"worker":0,"job":3,"kind":"slow","seconds":0.05}]}
+    v}
+
+    Everything here is pure: the same plan against the same dispatch
+    sequence produces the same faults, the same retries, and (because
+    recovery is answer-preserving) the same response bytes. *)
+
+type kind =
+  | Crash      (** exit without answering the request *)
+  | Stall      (** never answer; the dispatcher's deadline must fire *)
+  | Garbage    (** answer with a non-JSON line *)
+  | Truncate   (** write a prefix of the answer, no newline, then exit *)
+  | Slow of float  (** sleep this many seconds, then answer normally *)
+
+type entry = { worker : int; job : int; kind : kind }
+
+type plan = entry list
+
+val empty : plan
+val is_empty : plan -> bool
+
+val lookup : plan -> worker:int -> job:int -> kind option
+(** First matching entry wins. *)
+
+val kinds : plan -> kind list
+(** Deduplicated constructors present in the plan (for telemetry
+    assertions). *)
+
+val to_json : plan -> Mfb_util.Json.t
+val of_json : Mfb_util.Json.t -> (plan, string) result
+
+val to_file : string -> plan -> unit
+val of_file : string -> (plan, string) result
+
+val generate :
+  seed:int -> workers:int -> max_job:int -> rate:float -> unit -> plan
+(** [generate ~seed ~workers ~max_job ~rate ()] draws, for every
+    [(worker, job)] pair with [worker < workers] and [job <= max_job],
+    a fault with probability [rate], its kind uniform over crash /
+    stall / garbage / truncate / slow(50ms).  Pure function of the
+    arguments — the chaos bench and CI replay identical schedules from
+    the seed alone. *)

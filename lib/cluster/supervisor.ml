@@ -1,0 +1,106 @@
+module Telemetry = Mfb_util.Telemetry
+
+type slot_state =
+  | Due of int  (* spawn when the tick counter reaches this value *)
+  | Running of Worker_proc.t
+
+type t = {
+  size_ : int;
+  argv_of : int -> string array;
+  backoff_cap : int;
+  slots : slot_state array;
+  streak : int array;  (* consecutive failures per slot *)
+  spawned_once : bool array;
+  mutable tick_ : int;
+  mutable respawns_ : int;
+  mutable spawn_failures_ : int;
+  mutable stopped : bool;
+}
+
+let create ~size ?(backoff_cap = 8) argv_of =
+  if size < 1 then invalid_arg "Supervisor.create: size < 1";
+  {
+    size_ = size;
+    argv_of;
+    backoff_cap;
+    slots = Array.make size (Due 0);
+    streak = Array.make size 0;
+    spawned_once = Array.make size false;
+    tick_ = 0;
+    respawns_ = 0;
+    spawn_failures_ = 0;
+    stopped = false;
+  }
+
+let size t = t.size_
+let tick_now t = t.tick_
+let respawns t = t.respawns_
+let spawn_failures t = t.spawn_failures_
+
+let backoff_delay t slot = min t.backoff_cap (1 lsl (t.streak.(slot) - 1))
+
+let schedule_respawn t slot =
+  t.streak.(slot) <- t.streak.(slot) + 1;
+  t.slots.(slot) <- Due (t.tick_ + backoff_delay t slot)
+
+let try_spawn t slot =
+  match Worker_proc.spawn ~slot (t.argv_of slot) with
+  | w ->
+    if t.spawned_once.(slot) then begin
+      t.respawns_ <- t.respawns_ + 1;
+      Telemetry.incr ~cat:"cluster" "respawns"
+    end;
+    t.spawned_once.(slot) <- true;
+    t.slots.(slot) <- Running w
+  | exception (Unix.Unix_error _ | Invalid_argument _ | Sys_error _) ->
+    t.spawn_failures_ <- t.spawn_failures_ + 1;
+    Telemetry.incr ~cat:"cluster" "spawn_failures";
+    schedule_respawn t slot
+
+let tick t =
+  if not t.stopped then begin
+    t.tick_ <- t.tick_ + 1;
+    Array.iteri
+      (fun slot state ->
+        match state with
+        | Running w ->
+          if Worker_proc.reap_if_dead w then begin
+            (* died on its own between jobs — same as a dispatch fault *)
+            Worker_proc.kill w;
+            schedule_respawn t slot
+          end
+        | Due _ -> ())
+      t.slots;
+    Array.iteri
+      (fun slot state ->
+        match state with
+        | Due due when t.tick_ >= due -> try_spawn t slot
+        | Due _ | Running _ -> ())
+      t.slots
+  end
+
+let live t =
+  Array.to_list
+    (Array.mapi (fun i s -> (i, s)) t.slots)
+  |> List.filter_map (function
+       | i, Running w -> Some (i, w)
+       | _, Due _ -> None)
+
+let fail t slot =
+  (match t.slots.(slot) with
+   | Running w -> Worker_proc.kill w
+   | Due _ -> ());
+  schedule_respawn t slot
+
+let succeed t slot = t.streak.(slot) <- 0
+
+let stop t =
+  t.stopped <- true;
+  Array.iteri
+    (fun slot state ->
+      match state with
+      | Running w ->
+        Worker_proc.kill w;
+        t.slots.(slot) <- Due max_int
+      | Due _ -> t.slots.(slot) <- Due max_int)
+    t.slots

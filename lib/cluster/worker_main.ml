@@ -1,0 +1,89 @@
+module Json = Mfb_util.Json
+module P = Mfb_server.Protocol
+module Server = Mfb_server.Server
+
+let respond oc resp =
+  output_string oc (P.response_to_line resp);
+  output_char oc '\n';
+  flush oc
+
+(* Answer one resolved submit: the same computation the in-process
+   server path runs, so recovery by re-dispatch (or by degradation) is
+   answer-preserving by construction. *)
+let answer ~config ~id ~flow ~spec ~overrides =
+  match Server.resolve ~base:config ~flow ~overrides spec with
+  | Error reason -> P.Rejected { op = "submit"; id; reason }
+  | Ok job ->
+    let payload = Server.run_job job in
+    P.Job_result
+      { id; key = Mfb_server.Cache_key.to_hex job.Server.key; result = payload }
+
+let run ?(fault = Fault.empty) ?(index = 0) ~config ic oc =
+  let jobs_done = ref 0 in
+  let rec loop () =
+    match P.input_line_bounded ic with
+    | P.Eof -> ()
+    | P.Oversized n ->
+      respond oc
+        (P.Bad_request
+           {
+             id = None;
+             message =
+               Printf.sprintf "line too long: %d bytes exceed the %d-byte limit"
+                 n P.default_max_line_bytes;
+           });
+      loop ()
+    | P.Line line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then loop ()
+      else begin
+        (match P.request_of_line trimmed with
+         | Error message -> respond oc (P.Bad_request { id = None; message })
+         | Ok (P.Submit { id; flow; spec; overrides; _ }) ->
+           let job = !jobs_done in
+           incr jobs_done;
+           (match Fault.lookup fault ~worker:index ~job with
+            | Some Fault.Crash -> exit 3
+            | Some Fault.Stall ->
+              (* Never answer; if the dispatcher's deadline somehow does
+                 not fire, die eventually rather than leak forever. *)
+              Unix.sleepf 3600.0;
+              exit 3
+            | Some Fault.Garbage ->
+              output_string oc "%% corrupted response line %%\n";
+              flush oc
+            | Some Fault.Truncate ->
+              let full =
+                P.response_to_line (answer ~config ~id ~flow ~spec ~overrides)
+              in
+              output_string oc (String.sub full 0 (String.length full / 2));
+              flush oc;
+              exit 3
+            | Some (Fault.Slow s) ->
+              Unix.sleepf s;
+              respond oc (answer ~config ~id ~flow ~spec ~overrides)
+            | None -> respond oc (answer ~config ~id ~flow ~spec ~overrides))
+         | Ok P.Stats ->
+           respond oc
+             (P.Stats_reply
+                (Json.Obj
+                   [ ("worker", Json.Int index);
+                     ("jobs", Json.Int !jobs_done) ]))
+         | Ok P.Shutdown ->
+           respond oc
+             (P.Goodbye
+                (Json.Obj
+                   [ ("worker", Json.Int index);
+                     ("jobs", Json.Int !jobs_done) ]));
+           raise Exit
+         | Ok (P.Status _ | P.Result _) ->
+           respond oc
+             (P.Bad_request
+                {
+                  id = None;
+                  message = "workers answer submit/stats/shutdown only";
+                }));
+        loop ()
+      end
+  in
+  try loop () with Exit -> ()

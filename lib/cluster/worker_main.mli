@@ -1,0 +1,33 @@
+(** The worker servant: body of the [dcsa_synth worker] subcommand.
+
+    A worker is a stripped-down synchronous responder speaking a subset
+    of the service {!Mfb_server.Protocol} over its stdin/stdout, one
+    line in, one line out:
+
+    - [submit] resolves the spec against the worker's base config
+      (which must match the dispatching server's — the CLI forwards
+      [--tc]/[--seed]/[--sa-restarts]), runs the flow with [jobs = 1],
+      and answers with a [result] response carrying the deterministic
+      summary payload;
+    - [stats] is the heartbeat: answered immediately with the worker's
+      slot index and jobs-done count;
+    - [shutdown] answers [Goodbye] and returns;
+    - anything else (including oversized lines, see
+      {!Mfb_server.Protocol.input_line_bounded}) gets an [error]
+      response and the loop continues.
+
+    When a {!Fault.plan} is given, the worker consults it before
+    answering each [submit] (job indices count submits only, since this
+    process started) and misbehaves accordingly; [Crash], [Stall] and
+    [Truncate] terminate the process with exit code 3. *)
+
+val run :
+  ?fault:Fault.plan ->
+  ?index:int ->
+  config:Mfb_core.Config.t ->
+  in_channel ->
+  out_channel ->
+  unit
+(** [run ~config ic oc] serves until [shutdown] or EOF.  [index]
+    (default 0) is the worker's fleet slot, used for fault lookup and
+    reported in heartbeats. *)

@@ -3,12 +3,28 @@ module Lru = Mfb_util.Lru
 module Telemetry = Mfb_util.Telemetry
 module P = Protocol
 
+(* A fully resolved, validated synthesis job — everything needed to run
+   it on any worker domain without touching server state.  The original
+   [spec] and [overrides] ride along so a dispatch hook can re-submit
+   the job verbatim to an out-of-process worker. *)
+type job = {
+  key : Cache_key.t;
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;
+  config : Mfb_core.Config.t;
+  flow : [ `Ours | `Ba ];
+  spec : P.spec;
+  overrides : P.overrides;
+}
+
 type config = {
   jobs : int;
   cache_capacity : int;
   queue_depth : int;
   batch : int;
   flow_config : Mfb_core.Config.t;
+  dispatch : (job list -> Json.t list) option;
+  extra_stats : (unit -> (string * Json.t) list) option;
 }
 
 let default_config =
@@ -18,17 +34,9 @@ let default_config =
     queue_depth = 64;
     batch = 8;
     flow_config = Mfb_core.Config.default;
+    dispatch = None;
+    extra_stats = None;
   }
-
-(* A fully resolved, validated synthesis job — everything needed to run
-   it on any worker domain without touching server state. *)
-type job = {
-  key : Cache_key.t;
-  graph : Mfb_bioassay.Seq_graph.t;
-  allocation : Mfb_component.Allocation.t;
-  config : Mfb_core.Config.t;
-  flow : [ `Ours | `Ba ];
-}
 
 type outcome = Done of { key : Cache_key.t; payload : Json.t } | Shed of string
 
@@ -112,7 +120,7 @@ let apply_overrides (cfg : Mfb_core.Config.t) (o : P.overrides) =
   | () -> Ok cfg
   | exception Invalid_argument msg -> Error msg
 
-let resolve_job t ~flow ~overrides spec =
+let resolve ~base ~flow ~overrides spec =
   let* graph, allocation = resolve_spec spec in
   let* () =
     if Mfb_component.Allocation.covers allocation graph then Ok ()
@@ -121,10 +129,13 @@ let resolve_job t ~flow ~overrides spec =
         (Printf.sprintf "allocation %s does not cover every operation kind"
            (Mfb_component.Allocation.to_string allocation))
   in
-  let* config = apply_overrides t.cfg.flow_config overrides in
+  let* config = apply_overrides base overrides in
   let flow_name = match flow with `Ours -> "ours" | `Ba -> "ba" in
   let key = Cache_key.make ~flow:flow_name ~config ~graph ~allocation () in
-  Ok { key; graph; allocation; config; flow }
+  Ok { key; graph; allocation; config; flow; spec; overrides }
+
+let resolve_job t ~flow ~overrides spec =
+  resolve ~base:t.cfg.flow_config ~flow ~overrides spec
 
 (* --- batch execution --- *)
 
@@ -177,9 +188,13 @@ let process_batch t =
       dispatched
   in
   let payloads =
-    Mfb_util.Pool.map ~label:"serve-job" ~jobs:t.cfg.jobs
-      (fun (it : job Job_queue.item) -> run_job it.payload)
-      unique
+    match t.cfg.dispatch with
+    | Some dispatch ->
+      dispatch (List.map (fun (it : job Job_queue.item) -> it.payload) unique)
+    | None ->
+      Mfb_util.Pool.map ~label:"serve-job" ~jobs:t.cfg.jobs
+        (fun (it : job Job_queue.item) -> run_job it.payload)
+        unique
   in
   t.computed <- t.computed + List.length unique;
   let fresh = Hashtbl.create 8 in
@@ -233,7 +248,7 @@ let stats_json t =
           ("evictions", Json.Int s.evictions);
         ]
   in
-  Json.Obj
+  let fields =
     [
       ("tick", Json.Int t.tick);
       ("submitted", Json.Int t.submitted);
@@ -255,6 +270,9 @@ let stats_json t =
       ("jobs", Json.Int t.cfg.jobs);
       ("config", Mfb_core.Config.to_json t.cfg.flow_config);
     ]
+    @ (match t.cfg.extra_stats with None -> [] | Some f -> f ())
+  in
+  Json.Obj fields
 
 (* --- request handling --- *)
 
@@ -328,6 +346,11 @@ let handle t req =
   | P.Stats -> P.Stats_reply (stats_json t)
   | P.Shutdown ->
     t.stopping <- true;
+    (* drain in-flight jobs so the final stats snapshot accounts for
+       every accepted submission (computed or shed, never dropped) *)
+    while Job_queue.length t.queue > 0 do
+      process_batch t
+    done;
     P.Goodbye (stats_json t)
 
 let handle_line t line =
@@ -347,17 +370,33 @@ let handle_line t line =
     Some (P.response_to_line response)
 
 let serve ?(input = stdin) ?(output = stdout) t =
+  let respond = function
+    | None -> ()
+    | Some resp ->
+      output_string output resp;
+      output_char output '\n';
+      flush output
+  in
   let rec loop () =
     if not t.stopping then
-      match In_channel.input_line input with
-      | None -> ()
-      | Some line ->
-        (match handle_line t line with
-         | None -> ()
-         | Some resp ->
-           output_string output resp;
-           output_char output '\n';
-           flush output);
+      match P.input_line_bounded input with
+      | P.Eof -> ()
+      | P.Line line ->
+        respond (handle_line t line);
+        loop ()
+      | P.Oversized len ->
+        respond
+          (Some
+             (P.response_to_line
+                (P.Bad_request
+                   {
+                     id = None;
+                     message =
+                       Printf.sprintf
+                         "input line too long: %d bytes exceeds the %d-byte \
+                          limit"
+                         len P.default_max_line_bytes;
+                   })));
         loop ()
   in
   loop ()

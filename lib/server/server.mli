@@ -27,6 +27,20 @@
     preserves task order.  Caching is therefore {e transparent} — it can
     only change latency, never a payload. *)
 
+type job = {
+  key : Cache_key.t;
+  graph : Mfb_bioassay.Seq_graph.t;
+  allocation : Mfb_component.Allocation.t;
+  config : Mfb_core.Config.t;
+  flow : [ `Ours | `Ba ];
+  spec : Protocol.spec;            (** original submit spec *)
+  overrides : Protocol.overrides;  (** original submit overrides *)
+}
+(** A fully resolved, validated synthesis job.  [spec] and [overrides]
+    are the original wire-level submission, kept so a [dispatch] hook
+    can forward the job verbatim to an out-of-process worker which then
+    re-resolves it against the same base config. *)
+
 type config = {
   jobs : int;            (** worker domains for batch synthesis *)
   cache_capacity : int;  (** LRU entries; [0] disables caching *)
@@ -34,11 +48,21 @@ type config = {
   batch : int;           (** max jobs dispatched per tick *)
   flow_config : Mfb_core.Config.t;
       (** base synthesis parameters; [submit] overrides apply on top *)
+  dispatch : (job list -> Mfb_util.Json.t list) option;
+      (** replacement batch runner (e.g. a worker fleet): deduplicated
+          jobs in dispatch order in, one summary payload per job in the
+          same order out.  Must be answer-equivalent to {!run_job} —
+          caching and counters assume payloads are a pure function of
+          the job.  [None] (the default) runs batches in-process. *)
+  extra_stats : (unit -> (string * Mfb_util.Json.t) list) option;
+      (** extra fields appended to {!stats_json} (e.g. fleet counters);
+          [None] leaves the stats payload byte-identical to older
+          servers. *)
 }
 
 val default_config : config
 (** [jobs = 1], 128 cache entries, queue depth 64, batch 8, paper
-    parameters. *)
+    parameters, no dispatch hook, no extra stats. *)
 
 type t
 
@@ -46,8 +70,23 @@ val create : config -> t
 (** @raise Invalid_argument on non-positive [jobs] or [batch], negative
     [cache_capacity], or [queue_depth < 1]. *)
 
+val resolve :
+  base:Mfb_core.Config.t ->
+  flow:[ `Ours | `Ba ] ->
+  overrides:Protocol.overrides ->
+  Protocol.spec ->
+  (job, string) result
+(** Resolve and validate a submission against [base] config — the same
+    path the server takes, exposed so workers resolve identically. *)
+
+val run_job : job -> Mfb_util.Json.t
+(** Synthesise one job in-process ([jobs = 1]) and return its summary
+    payload.  Deterministic: equal jobs give byte-equal payloads. *)
+
 val handle : t -> Protocol.request -> Protocol.response
-(** Process one request (advancing queue batches as needed). *)
+(** Process one request (advancing queue batches as needed).  [shutdown]
+    first drains every queued job — computing or deadline-shedding each
+    one — so the {!Protocol.Goodbye} stats are a complete account. *)
 
 val handle_line : t -> string -> string option
 (** Parse one input line and answer it serialized; [None] for blank and
@@ -63,4 +102,7 @@ val stats_json : t -> Mfb_util.Json.t
 
 val serve : ?input:in_channel -> ?output:out_channel -> t -> unit
 (** Run the line loop (default stdin/stdout) until [shutdown] or EOF,
-    flushing after every response. *)
+    flushing after every response.  Lines are read via
+    {!Protocol.input_line_bounded}: an oversized line is consumed whole,
+    answered with a structured error, and serving continues; a partial
+    final line (no trailing newline) is still handled. *)

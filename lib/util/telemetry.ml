@@ -328,6 +328,15 @@ let events sink =
 
 let metrics sink = merge_metrics (sorted_collectors sink)
 
+let counter_total sink ~cat name =
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | { mcat; mname; mdata = Counter n } when mcat = cat && mname = name ->
+        acc + n
+      | _ -> acc)
+    0 (metrics sink)
+
 let value_to_json = function
   | Int i -> Json.Int i
   | Float f -> Json.Float f

@@ -143,6 +143,10 @@ val events : sink -> event list
 val metrics : sink -> metric list
 (** Whole-sink aggregate merge, sorted by (cat, name). *)
 
+val counter_total : sink -> cat:string -> string -> int
+(** Summed value of the named counter across every collector in the
+    sink; [0] when the counter was never bumped. *)
+
 val to_chrome_json : ?process_name:string -> sink -> Json.t
 (** Chrome [trace_event] JSON (the [{"traceEvents": [...]}] object
     form), loadable in Perfetto / [chrome://tracing].  Track paths are

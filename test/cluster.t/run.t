@@ -1,0 +1,61 @@
+The worker fleet is answer-transparent: for the same request script the
+single-process server, a clean 2-worker fleet, and a fleet under a
+seeded crash/garbage fault schedule produce byte-identical responses
+(the shutdown line is stripped because its stats snapshot legitimately
+differs: fleet runs append cluster counters).
+
+  $ cat > script.txt <<'EOF'
+  > {"op":"submit","id":"c0","benchmark":"PCR","seed":1}
+  > {"op":"result","id":"c0"}
+  > {"op":"submit","id":"c1","benchmark":"IVD","seed":2}
+  > {"op":"result","id":"c1"}
+  > {"op":"submit","id":"c2","benchmark":"PCR","seed":1}
+  > {"op":"result","id":"c2"}
+  > {"op":"shutdown"}
+  > EOF
+  $ cat > plan.json <<'EOF'
+  > {"faults":[{"worker":0,"job":0,"kind":"crash"},{"worker":1,"job":1,"kind":"garbage"}]}
+  > EOF
+  $ ../../bin/dcsa_synth.exe serve < script.txt | grep -v '"op":"shutdown"' > base.out
+  $ ../../bin/dcsa_synth.exe serve --fleet 2 < script.txt | grep -v '"op":"shutdown"' > fleet.out
+  $ ../../bin/dcsa_synth.exe serve --fleet 2 --fault-plan plan.json --worker-timeout 10 < script.txt | grep -v '"op":"shutdown"' > chaos.out
+  $ cmp base.out fleet.out && cmp base.out chaos.out && echo fleet-transparent
+  fleet-transparent
+
+Every injected fault is visible in the shutdown stats: the crashed slot
+respawned, the faulted jobs were retried, and both fault kinds were
+counted.  (Values are asserted non-zero rather than pinned: a loaded
+machine may add spurious timeouts, which recovery absorbs without
+changing any response byte.)
+
+  $ ../../bin/dcsa_synth.exe serve --fleet 2 --fault-plan plan.json --worker-timeout 10 < script.txt > full.out
+  $ grep -q '"cluster":{' full.out && echo cluster-stats-present
+  cluster-stats-present
+  $ grep -Eq '"respawns":0[,}]' full.out && echo zero || echo respawns-nonzero
+  respawns-nonzero
+  $ grep -Eq '"crashes":0[,}]' full.out && echo zero || echo crashes-nonzero
+  crashes-nonzero
+  $ grep -Eq '"garbage":0[,}]' full.out && echo zero || echo garbage-nonzero
+  garbage-nonzero
+  $ grep -Eq '"retries":0[,}]' full.out && echo zero || echo retries-nonzero
+  retries-nonzero
+
+A fully poisoned fleet (every worker of a 1-worker fleet crashes on its
+first job, every life) degrades gracefully: the batch is computed
+in-process, responses are still byte-identical, and the degradation is
+counted.
+
+  $ cat > poison.json <<'EOF'
+  > {"faults":[{"worker":0,"job":0,"kind":"crash"}]}
+  > EOF
+  $ ../../bin/dcsa_synth.exe serve --fleet 1 --fault-plan poison.json --max-retries 1 --worker-timeout 10 < script.txt | grep -v '"op":"shutdown"' > poisoned.out
+  $ cmp base.out poisoned.out && echo degradation-transparent
+  degradation-transparent
+  $ ../../bin/dcsa_synth.exe serve --fleet 1 --fault-plan poison.json --max-retries 1 --worker-timeout 10 < script.txt | grep -Eq '"degraded":0[,}]' || echo degraded-nonzero
+  degraded-nonzero
+
+The worker subcommand itself speaks the protocol one line at a time.
+
+  $ printf '{"op":"submit","id":"w0","benchmark":"PCR"}\n{"op":"shutdown"}\n' | ../../bin/dcsa_synth.exe worker --index 0
+  {"ok":true,"op":"result","id":"w0","key":"add01f5a3910b675","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"shutdown","stats":{"worker":0,"jobs":1}}

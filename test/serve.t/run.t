@@ -89,3 +89,33 @@ deterministic summary metrics, never timings).
   $ ../../bin/dcsa_synth.exe serve --jobs 2 --batch 4 --no-cache < script.txt > nocache.out
   $ cmp jobs1.out jobs2.out && cmp jobs1.out nocache.out && echo responses-invariant
   responses-invariant
+
+An input line beyond the 1 MiB cap is consumed whole and answered with a
+structured error; the stream resynchronises at the newline and the next
+request is served normally.
+
+  $ { head -c 1200000 /dev/zero | tr '\0' 'x'; printf '\n'
+  >   printf '{"op":"submit","id":"ok","benchmark":"PCR"}\n{"op":"shutdown"}\n'
+  > } | ../../bin/dcsa_synth.exe serve > oversized.out
+  $ grep -c . oversized.out
+  3
+  $ grep '"op":"error"' oversized.out
+  {"ok":false,"op":"error","message":"input line too long: 1200000 bytes exceeds the 1048576-byte limit"}
+  $ grep -o '"id":"ok","key":"[0-9a-f]*"' oversized.out
+  "id":"ok","key":"add01f5a3910b675"
+
+Shutdown drains the queue: jobs still waiting (batch 50 prevents any
+dispatch) are computed before the final stats snapshot, which therefore
+accounts for every accepted submission, and the server exits 0.
+
+  $ ../../bin/dcsa_synth.exe serve --batch 50 > drain.out <<'EOF'
+  > {"op":"submit","id":"d1","benchmark":"PCR","seed":1}
+  > {"op":"submit","id":"d2","benchmark":"PCR","seed":2}
+  > {"op":"shutdown"}
+  > EOF
+  $ echo "exit: $?"
+  exit: 0
+  $ grep -o '"computed":2' drain.out
+  "computed":2
+  $ grep -o '"queue":{"depth":64,"queued":0}' drain.out
+  "queue":{"depth":64,"queued":0}

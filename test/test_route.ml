@@ -505,6 +505,54 @@ let test_repair_component_cell_rejected () =
         (Mfb_route.Repair.inject ~we ~tc chip sched result
            ~defect:blocked_cell))
 
+let test_repair_last_task_path_defect () =
+  (* A defect on the committed path of the last routed task must count
+     that task as affected: repair sees every committed path, including
+     the final one (an off-by-one here would silently pass defects
+     through the tail of the routing order). *)
+  let sched, chip, result = routed_instance 0 in
+  (match List.rev result.tasks with
+   | [] -> Alcotest.fail "instance routed no tasks"
+   | (last : Routed.task) :: _ ->
+     let defect = List.nth last.path (List.length last.path / 2) in
+     let outcome =
+       Mfb_route.Repair.inject ~we ~tc chip sched result ~defect
+     in
+     Alcotest.(check bool) "defect recorded" true (outcome.defect = defect);
+     Alcotest.(check bool) "last task is affected" true
+       (outcome.affected >= 1);
+     Alcotest.(check bool) "repaired bounded by affected" true
+       (outcome.repaired <= outcome.affected))
+
+let test_repair_unoccupied_cell_is_noop () =
+  (* A defect on a routable cell no occupation ever touches is a pure
+     no-op: nothing affected, nothing repaired, design survives. *)
+  let sched, chip, result = routed_instance 0 in
+  let grid = result.grid in
+  let used = Mfb_route.Rgrid.used_cells grid in
+  let on_some_path (x, y) =
+    List.exists
+      (fun (t : Routed.task) -> List.mem (x, y) t.path)
+      result.tasks
+  in
+  let free =
+    let rec scan x y =
+      if y >= chip.Chip.height then Alcotest.fail "no unoccupied cell"
+      else if x >= chip.Chip.width then scan 0 (y + 1)
+      else if
+        (not (Mfb_route.Rgrid.blocked grid (x, y)))
+        && (not (List.mem (x, y) used))
+        && not (on_some_path (x, y))
+      then (x, y)
+      else scan (x + 1) y
+    in
+    scan 0 0
+  in
+  let outcome = Mfb_route.Repair.inject ~we ~tc chip sched result ~defect:free in
+  Alcotest.(check int) "affected" 0 outcome.affected;
+  Alcotest.(check int) "repaired" 0 outcome.repaired;
+  Alcotest.(check bool) "survived" true outcome.survived
+
 let test_repair_yield_bounds () =
   List.iter
     (fun index ->
@@ -786,6 +834,10 @@ let suites =
           test_repair_unused_cell_is_free;
         Alcotest.test_case "component cell rejected" `Quick
           test_repair_component_cell_rejected;
+        Alcotest.test_case "last task's path is repairable" `Quick
+          test_repair_last_task_path_defect;
+        Alcotest.test_case "unoccupied cell is a no-op" `Quick
+          test_repair_unoccupied_cell_is_noop;
         Alcotest.test_case "yield bounds" `Quick test_repair_yield_bounds;
       ] );
     ( "route.negotiated",

@@ -292,7 +292,8 @@ let test_protocol_malformed () =
 
 (* --- server behaviour --- *)
 
-let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) () =
+let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) ?dispatch
+    ?extra_stats () =
   Server.create
     {
       Server.jobs;
@@ -300,6 +301,8 @@ let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) () =
       queue_depth = depth;
       batch;
       flow_config = Config.default;
+      dispatch;
+      extra_stats;
     }
 
 let call_exn client req =
@@ -440,6 +443,162 @@ let test_server_deadline_shed () =
       | r -> Alcotest.failf "%s result: %s" id (P.response_to_line r))
     [ "a"; "c" ]
 
+(* --- bounded line reading --- *)
+
+let with_input text f =
+  let path = Filename.temp_file "bounded" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc text);
+      In_channel.with_open_text path f)
+
+let test_bounded_reader_lines () =
+  with_input "alpha\nbeta\n" (fun ic ->
+      Alcotest.(check bool) "first" true
+        (P.input_line_bounded ic = P.Line "alpha");
+      Alcotest.(check bool) "second" true
+        (P.input_line_bounded ic = P.Line "beta");
+      Alcotest.(check bool) "eof" true (P.input_line_bounded ic = P.Eof));
+  with_input "" (fun ic ->
+      Alcotest.(check bool) "empty input" true (P.input_line_bounded ic = P.Eof))
+
+let test_bounded_reader_partial_line_at_eof () =
+  with_input "complete\npartial" (fun ic ->
+      Alcotest.(check bool) "complete" true
+        (P.input_line_bounded ic = P.Line "complete");
+      Alcotest.(check bool) "partial still surfaces" true
+        (P.input_line_bounded ic = P.Line "partial");
+      Alcotest.(check bool) "then eof" true (P.input_line_bounded ic = P.Eof))
+
+let test_bounded_reader_oversized_resyncs () =
+  let big = String.make 100 'x' in
+  with_input (big ^ "\nnext\n") (fun ic ->
+      (* the oversized line is consumed whole: its length is reported
+         and the following line is read intact *)
+      Alcotest.(check bool) "oversized with length" true
+        (P.input_line_bounded ~max_bytes:10 ic = P.Oversized 100);
+      Alcotest.(check bool) "resynced" true
+        (P.input_line_bounded ~max_bytes:10 ic = P.Line "next"));
+  (* a line of exactly max_bytes is not oversized *)
+  with_input "1234567890\n" (fun ic ->
+      Alcotest.(check bool) "at the cap" true
+        (P.input_line_bounded ~max_bytes:10 ic = P.Line "1234567890"));
+  (* oversized at EOF without a trailing newline still reports *)
+  with_input (String.make 20 'y') (fun ic ->
+      Alcotest.(check bool) "oversized at eof" true
+        (P.input_line_bounded ~max_bytes:10 ic = P.Oversized 20))
+
+let test_serve_answers_oversized_line () =
+  (* end to end: an oversized request line gets a structured error and
+     the server keeps serving the next request *)
+  let s = server () in
+  let big =
+    Printf.sprintf {|{"op":"submit","id":"big","assay":"%s"}|}
+      (String.make (P.default_max_line_bytes + 64) 'a')
+  in
+  let script = big ^ "\n" ^ {|{"op":"stats"}|} ^ "\n{\"op\":\"shutdown\"}\n" in
+  let out_path = Filename.temp_file "serve_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out_path)
+    (fun () ->
+      with_input script (fun input ->
+          Out_channel.with_open_text out_path (fun output ->
+              Server.serve ~input ~output s));
+      let lines =
+        In_channel.with_open_text out_path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [ err; stats; goodbye ] ->
+        (match P.response_of_line err with
+         | Ok (P.Bad_request { message; _ }) ->
+           Alcotest.(check bool) "says too long" true
+             (contains ~sub:"too long" message)
+         | _ -> Alcotest.fail "expected a bad-request error");
+        (match P.response_of_line stats with
+         | Ok (P.Stats_reply _) -> ()
+         | _ -> Alcotest.fail "server must keep serving after oversized");
+        (match P.response_of_line goodbye with
+         | Ok (P.Goodbye _) -> ()
+         | _ -> Alcotest.fail "expected goodbye")
+      | lines -> Alcotest.failf "expected 3 lines, got %d" (List.length lines))
+
+(* --- shutdown drains in-flight jobs --- *)
+
+let test_shutdown_drains_queue () =
+  let s = server ~batch:8 () in
+  let c = Client.in_process s in
+  (* three distinct jobs, below the batch threshold: all still queued *)
+  List.iter
+    (fun (id, seed) ->
+      match call_exn c (submit ~id ~seed:(Some seed) pcr) with
+      | P.Submitted _ -> ()
+      | r -> Alcotest.failf "submit: %s" (P.response_to_line r))
+    [ ("a", 1); ("b", 2); ("c", 3) ];
+  (match call_exn c P.Shutdown with
+   | P.Goodbye stats ->
+     let member path =
+       match Json.member path stats with
+       | Some v -> v
+       | None -> Alcotest.failf "missing stats field %s" path
+     in
+     (match member "queue" with
+      | Json.Obj q ->
+        Alcotest.(check bool) "queue drained" true
+          (List.assoc_opt "queued" q = Some (Json.Int 0))
+      | _ -> Alcotest.fail "queue stats not an object");
+     Alcotest.(check bool) "all three computed" true
+       (member "computed" = Json.Int 3)
+   | r -> Alcotest.failf "shutdown: %s" (P.response_to_line r));
+  (* the drained results are actually there *)
+  List.iter
+    (fun id ->
+      match call_exn c (P.Result id) with
+      | P.Job_result _ -> ()
+      | r -> Alcotest.failf "%s after drain: %s" id (P.response_to_line r))
+    [ "a"; "b"; "c" ]
+
+(* --- dispatch and extra_stats hooks --- *)
+
+let test_dispatch_hook_is_answer_transparent () =
+  let calls = ref 0 in
+  let dispatch jobs =
+    incr calls;
+    List.map Server.run_job jobs
+  in
+  let lines =
+    List.map P.request_to_line
+      [
+        submit ~id:"h0" ~seed:(Some 0) pcr;
+        submit ~id:"h1" ~seed:(Some 1) pcr;
+        submit ~id:"h2" ~seed:(Some 0) pcr;
+        P.Result "h0"; P.Result "h1"; P.Result "h2";
+      ]
+  in
+  let run_script s lines = List.filter_map (Server.handle_line s) lines in
+  let hooked = run_script (server ~batch:2 ~dispatch ()) lines in
+  let plain = run_script (server ~batch:2 ()) lines in
+  Alcotest.(check (list string)) "hooked = in-process" plain hooked;
+  Alcotest.(check bool) "hook ran" true (!calls > 0)
+
+let test_extra_stats_appended () =
+  let extra_stats () = [ ("cluster", Json.Obj [ ("fleet", Json.Int 2) ]) ] in
+  let s = server ~extra_stats () in
+  (match Server.handle s P.Stats with
+   | P.Stats_reply stats ->
+     Alcotest.(check bool) "extra field present" true
+       (Json.member "cluster" stats
+       = Some (Json.Obj [ ("fleet", Json.Int 2) ]))
+   | r -> Alcotest.failf "stats: %s" (P.response_to_line r));
+  (* without the hook the stats payload has no such field *)
+  match Server.handle (server ()) P.Stats with
+  | P.Stats_reply stats ->
+    Alcotest.(check bool) "absent by default" true
+      (Json.member "cluster" stats = None)
+  | r -> Alcotest.failf "stats: %s" (P.response_to_line r)
+
 (* --- determinism: cold jobs=1 ≡ warm ≡ jobs=2, enforced by qcheck --- *)
 
 (* A script is a list of submissions drawn from a tiny seed pool (so
@@ -505,6 +664,12 @@ let suites =
         Alcotest.test_case "response round-trip" `Quick
           test_protocol_response_roundtrip;
         Alcotest.test_case "malformed requests" `Quick test_protocol_malformed;
+        Alcotest.test_case "bounded reader lines" `Quick
+          test_bounded_reader_lines;
+        Alcotest.test_case "bounded reader partial at EOF" `Quick
+          test_bounded_reader_partial_line_at_eof;
+        Alcotest.test_case "bounded reader oversized resync" `Quick
+          test_bounded_reader_oversized_resyncs;
       ] );
     ( "server.serve",
       [
@@ -515,6 +680,14 @@ let suites =
         Alcotest.test_case "admission and displacement" `Quick
           test_server_admission_and_shedding;
         Alcotest.test_case "deadline shedding" `Quick test_server_deadline_shed;
+        Alcotest.test_case "oversized line answered, serving continues" `Quick
+          test_serve_answers_oversized_line;
+        Alcotest.test_case "shutdown drains the queue" `Quick
+          test_shutdown_drains_queue;
+        Alcotest.test_case "dispatch hook is answer-transparent" `Quick
+          test_dispatch_hook_is_answer_transparent;
+        Alcotest.test_case "extra stats appended" `Quick
+          test_extra_stats_appended;
         prop_server_responses_invariant;
       ] );
   ]
