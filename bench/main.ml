@@ -603,6 +603,146 @@ let physical_validation config pairs =
      fraction of single channel-cell defects survivable by re-routing)"
 
 (* ------------------------------------------------------------------ *)
+(* Hot paths: incremental SA energy and reusable A* heuristic fields  *)
+(* ------------------------------------------------------------------ *)
+
+(* Counter evidence from the optimized inner loops, against the per-move
+   cost of the dense evaluation they replace: a from-scratch objective
+   visits every net plus every component pair, twice per proposal
+   (moved and reverted placements), where the incremental path touches
+   only terms incident to the moved components.  The periodic re-syncs
+   are charged to the incremental side so the reduction factor covers
+   everything the annealer evaluates.  Emits BENCH_hotpath.json. *)
+
+type hotpath_row = {
+  hp_name : string;
+  hp_ops : int;
+  hp_dense : int;          (* dense terms per proposal *)
+  hp_inc : float;          (* measured incremental terms per proposal *)
+  hp_reduction : float;
+  hp_searches : int;
+  hp_builds : int;
+  hp_wall : float;
+}
+
+let hotpath_out = "BENCH_hotpath.json"
+
+let hotpath_section config =
+  section
+    "Hot paths: evaluated terms per SA move and A* heuristic-field reuse";
+  let measure (inst : Suite.instance) =
+    let sink = Mfb_util.Telemetry.make_sink () in
+    Mfb_util.Telemetry.install sink;
+    let w0 = Unix.gettimeofday () in
+    let result = Flow.run ~config inst.graph inst.allocation in
+    let wall = Unix.gettimeofday () -. w0 in
+    (match trace_sink with
+     | Some s -> Mfb_util.Telemetry.install s
+     | None -> Mfb_util.Telemetry.uninstall ());
+    let c cat name = Mfb_util.Telemetry.counter_total sink ~cat name in
+    let n = Array.length result.Result_.schedule.components in
+    let n_nets =
+      List.length (Mfb_place.Net.of_schedule result.Result_.schedule)
+    in
+    let pairs = n * (n - 1) / 2 in
+    let dense = 2 * (n_nets + pairs) in
+    let attempted = max 1 (c "place" "sa.attempted") in
+    let inc_terms =
+      c "place" "delta_evals" + (c "place" "resyncs" * (n_nets + pairs))
+    in
+    let hp_inc = float_of_int inc_terms /. float_of_int attempted in
+    {
+      hp_name = Mfb_bioassay.Seq_graph.name inst.graph;
+      hp_ops = Mfb_bioassay.Seq_graph.n_ops inst.graph;
+      hp_dense = dense;
+      hp_inc;
+      hp_reduction = float_of_int dense /. Float.max hp_inc 1e-9;
+      hp_searches = c "route" "astar.searches";
+      hp_builds = c "route" "heuristic_field_builds";
+      hp_wall = wall;
+    }
+  in
+  let rows = List.map measure (Suite.all ()) in
+  let table =
+    Table.create
+      ~headers:
+        [ "Benchmark"; "Ops"; "Dense terms/move"; "Incr terms/move";
+          "Reduction"; "A* searches"; "Field builds"; "Wall (s)" ]
+  in
+  Table.set_aligns table (Table.Left :: List.init 7 (fun _ -> Table.Right));
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.hp_name;
+          string_of_int r.hp_ops;
+          string_of_int r.hp_dense;
+          Printf.sprintf "%.1f" r.hp_inc;
+          Printf.sprintf "%.1fx" r.hp_reduction;
+          string_of_int r.hp_searches;
+          string_of_int r.hp_builds;
+          Printf.sprintf "%.3f" r.hp_wall;
+        ])
+    rows;
+  Table.print table;
+  let largest =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some best when best.hp_ops >= r.hp_ops -> acc
+        | _ -> Some r)
+      None rows
+  in
+  (match largest with
+   | Some r ->
+     Printf.printf
+       "largest assay %s: %.1fx fewer evaluated terms per SA move \
+        (target >= 3x: %s); heuristic fields built %d for %d searches\n"
+       r.hp_name r.hp_reduction
+       (if r.hp_reduction >= 3. then "met" else "MISSED")
+       r.hp_builds r.hp_searches
+   | None -> ());
+  let row_json r =
+    Mfb_util.Json.Obj
+      [
+        ("name", Mfb_util.Json.String r.hp_name);
+        ("ops", Mfb_util.Json.Int r.hp_ops);
+        ("dense_terms_per_move", Mfb_util.Json.Int r.hp_dense);
+        ("incremental_terms_per_move", Mfb_util.Json.Float r.hp_inc);
+        ("term_reduction", Mfb_util.Json.Float r.hp_reduction);
+        ("astar_searches", Mfb_util.Json.Int r.hp_searches);
+        ("heuristic_field_builds", Mfb_util.Json.Int r.hp_builds);
+        ( "field_reuse",
+          Mfb_util.Json.Float
+            (float_of_int r.hp_searches
+            /. float_of_int (max 1 r.hp_builds)) );
+        ("wall_s", Mfb_util.Json.Float r.hp_wall);
+      ]
+  in
+  let doc =
+    Mfb_util.Json.Obj
+      ([ ("benchmarks", Mfb_util.Json.List (List.map row_json rows)) ]
+      @
+      match largest with
+      | None -> []
+      | Some r ->
+        [
+          ( "largest_assay",
+            Mfb_util.Json.Obj
+              [
+                ("name", Mfb_util.Json.String r.hp_name);
+                ("term_reduction", Mfb_util.Json.Float r.hp_reduction);
+                ("target", Mfb_util.Json.Float 3.0);
+                ("met", Mfb_util.Json.Bool (r.hp_reduction >= 3.0));
+              ] );
+        ])
+  in
+  Out_channel.with_open_text hotpath_out (fun oc ->
+      Mfb_util.Json.to_channel ~indent:1 oc doc);
+  Printf.eprintf "wrote %s\n" hotpath_out;
+  match largest with Some r -> r.hp_reduction >= 3.0 | None -> false
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -704,11 +844,19 @@ let () =
      tc=%.1f we=%.0f jobs=%d\n"
     config.sa.alpha config.beta config.gamma config.sa.t0 config.sa.i_max
     config.sa.t_min config.tc config.we jobs;
+  (* --hotpath-only: run just the hot-path counter section (CI smoke);
+     the exit status reports the >= 3x term-reduction target. *)
+  if Array.mem "--hotpath-only" Sys.argv then begin
+    let met = hotpath_section config in
+    write_trace ();
+    exit (if met then 0 else 1)
+  end;
   let pairs = run_suite config in
   table1 pairs;
   stage_timing pairs;
   parallel_scaling config;
   figures pairs;
+  ignore (hotpath_section config : bool);
   ablations config;
   tc_sensitivity config;
   beta_gamma_study config;

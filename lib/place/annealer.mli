@@ -29,8 +29,16 @@ type result = {
 
 val objective : Chip.t -> Energy.weighted_net list -> float
 (** The annealing objective: Eq. 3 plus a small all-pairs compaction term
-    ([0.05 * Energy.compaction]) that packs weakly-connected components
-    (the paper argues DCSA reduces chip area). *)
+    ([0.01 * Energy.compaction]) that packs weakly-connected components
+    (the paper argues DCSA reduces chip area).
+
+    Inside the walk the objective is tracked {e incrementally}: each move
+    re-evaluates only the nets incident to the touched components (via
+    {!Energy.incident_total}) plus the touched compaction pairs, and the
+    running value is re-synced against a from-scratch recompute every 64
+    accepted moves, at every temperature-step boundary, and whenever a
+    best-so-far comparison falls within 1e-6 of the incumbent (so the
+    returned placement never depends on floating-point drift). *)
 
 val place :
   ?params:params ->

@@ -29,3 +29,77 @@ let compaction chip =
     done
   done;
   !total
+
+(* Net-adjacency index: nets flattened to arrays plus, per component, the
+   ids of its incident nets.  A per-net stamp deduplicates nets incident
+   to more than one touched component without allocating a set. *)
+type index = {
+  na : int array;
+  nb : int array;
+  ncp : float array;
+  incident : int array array;
+  stamp : int array;
+  mutable round : int;
+}
+
+let index ~n_components nets =
+  let nets = Array.of_list nets in
+  let m = Array.length nets in
+  let na = Array.make m 0 and nb = Array.make m 0 and ncp = Array.make m 0. in
+  Array.iteri
+    (fun k { a; b; cp } ->
+      na.(k) <- a;
+      nb.(k) <- b;
+      ncp.(k) <- cp)
+    nets;
+  let counts = Array.make n_components 0 in
+  for k = 0 to m - 1 do
+    counts.(na.(k)) <- counts.(na.(k)) + 1;
+    if nb.(k) <> na.(k) then counts.(nb.(k)) <- counts.(nb.(k)) + 1
+  done;
+  let incident = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make n_components 0 in
+  for k = 0 to m - 1 do
+    incident.(na.(k)).(fill.(na.(k))) <- k;
+    fill.(na.(k)) <- fill.(na.(k)) + 1;
+    if nb.(k) <> na.(k) then begin
+      incident.(nb.(k)).(fill.(nb.(k))) <- k;
+      fill.(nb.(k)) <- fill.(nb.(k)) + 1
+    end
+  done;
+  { na; nb; ncp; incident; stamp = Array.make m (-1); round = 0 }
+
+let incident_total chip t touched =
+  t.round <- t.round + 1;
+  let r = t.round in
+  let sum = ref 0. and terms = ref 0 in
+  List.iter
+    (fun c ->
+      let nets = t.incident.(c) in
+      for i = 0 to Array.length nets - 1 do
+        let k = nets.(i) in
+        if t.stamp.(k) <> r then begin
+          t.stamp.(k) <- r;
+          sum := !sum +. (Chip.manhattan chip t.na.(k) t.nb.(k) *. t.ncp.(k));
+          incr terms
+        end
+      done)
+    touched;
+  (!sum, !terms)
+
+let partial_compaction chip touched =
+  let n = Array.length chip.Chip.components in
+  let sum = ref 0. and terms = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | i :: rest ->
+      for j = 0 to n - 1 do
+        if j <> i && not (List.mem j rest) then begin
+          sum := !sum +. Chip.manhattan chip i j;
+          incr terms
+        end
+      done;
+      go rest
+  in
+  go touched;
+  (!sum, !terms)

@@ -22,3 +22,34 @@ val compaction : Chip.t -> float
     spread out the placement is.  Added with a small weight to the
     annealing objective so that components without strong nets still pack
     tightly (the paper argues DCSA "effectively reduces chip area"). *)
+
+(** {2 Incremental evaluation}
+
+    The annealing hot path only needs the energy {e difference} caused by
+    a move, which touches one or two components.  The index below maps
+    each component to its incident weighted nets so the annealer can
+    re-evaluate just those terms (before and after the move) instead of
+    folding over every net plus the O(n²) compaction pairs. *)
+
+type index
+(** Component → incident-nets adjacency, with a per-net stamp used to
+    deduplicate nets shared by several touched components.  Mutable
+    (the stamp round counter) — not safe to share across domains; build
+    one per annealing walk. *)
+
+val index : n_components:int -> weighted_net list -> index
+(** [index ~n_components nets] builds the adjacency once per walk.
+    Component ids in [nets] must lie in [0, n_components). *)
+
+val incident_total :
+  Chip.t -> index -> int list -> float * int
+(** [incident_total chip idx touched] is the Eq. 3 partial sum over the
+    distinct nets incident to any component in [touched], plus the count
+    of net terms evaluated.  Evaluating it before and after a move (same
+    [touched]) yields the exact Eq. 3 delta: non-incident terms cancel. *)
+
+val partial_compaction : Chip.t -> int list -> float * int
+(** [partial_compaction chip touched] is the compaction partial sum over
+    all pairs containing at least one touched component (each such pair
+    counted once), plus the term count.  Before/after evaluation yields
+    the exact {!compaction} delta. *)

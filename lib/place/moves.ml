@@ -3,25 +3,31 @@ module Rng = Mfb_util.Rng
 type undo = unit -> unit
 
 (* A move is legal when the touched components stay in bounds and respect
-   spacing against everyone else. *)
+   spacing against everyone else.  Plain loop with early exit — this runs
+   once per attempted move, so it must not allocate. *)
 let touched_legal chip touched =
   List.for_all
     (fun i ->
       Chip.in_bounds chip i
-      && Array.for_all Fun.id
-           (Array.mapi
-              (fun j _ -> j = i || Chip.pair_legal chip i j)
-              chip.Chip.components))
+      &&
+      let n = Array.length chip.Chip.components in
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < n do
+        if !j <> i && not (Chip.pair_legal chip i !j) then ok := false;
+        incr j
+      done;
+      !ok)
     touched
 
 let finish chip touched undo =
-  if touched_legal chip touched then Some undo
+  if touched_legal chip touched then Some (touched, undo)
   else begin
     undo ();
     None
   end
 
-let translate rng (chip : Chip.t) =
+let translate_t rng (chip : Chip.t) =
   let n = Array.length chip.components in
   if n = 0 then None
   else begin
@@ -33,7 +39,7 @@ let translate rng (chip : Chip.t) =
     finish chip [ i ] (fun () -> chip.places.(i) <- old)
   end
 
-let rotate rng (chip : Chip.t) =
+let rotate_t rng (chip : Chip.t) =
   let n = Array.length chip.components in
   if n = 0 then None
   else begin
@@ -43,7 +49,7 @@ let rotate rng (chip : Chip.t) =
     finish chip [ i ] (fun () -> chip.places.(i) <- old)
   end
 
-let swap rng (chip : Chip.t) =
+let swap_t rng (chip : Chip.t) =
   let n = Array.length chip.components in
   if n < 2 then None
   else begin
@@ -58,9 +64,15 @@ let swap rng (chip : Chip.t) =
         chip.places.(j) <- pj)
   end
 
-let random_move rng chip =
+let translate rng chip = Option.map snd (translate_t rng chip)
+let rotate rng chip = Option.map snd (rotate_t rng chip)
+let swap rng chip = Option.map snd (swap_t rng chip)
+
+let random_move_touched rng chip =
   match Rng.int rng 6 with
-  | 0 | 1 | 2 -> translate rng chip
-  | 3 -> rotate rng chip
-  | 4 | 5 -> swap rng chip
+  | 0 | 1 | 2 -> translate_t rng chip
+  | 3 -> rotate_t rng chip
+  | 4 | 5 -> swap_t rng chip
   | _ -> assert false
+
+let random_move rng chip = Option.map snd (random_move_touched rng chip)

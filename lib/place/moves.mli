@@ -18,3 +18,10 @@ val swap : Mfb_util.Rng.t -> Chip.t -> undo option
 val random_move : Mfb_util.Rng.t -> Chip.t -> undo option
 (** One of the three moves, weighted 3:1:2
     (translate : rotate : swap). *)
+
+val random_move_touched :
+  Mfb_util.Rng.t -> Chip.t -> (int list * undo) option
+(** Like {!random_move}, but also returns the indices of the components
+    the move displaced (one for translate/rotate, two for swap) so the
+    caller can re-evaluate only their incident energy terms.  Consumes
+    the RNG identically to {!random_move}. *)

@@ -11,8 +11,41 @@ let path_cost grid ~use_weights path =
 let manhattan (x1, y1) (x2, y2) =
   float_of_int (abs (x1 - x2) + abs (y1 - y2))
 
-let search_multi ?stats:st ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts
-    ~usable ~use_weights =
+(* Multi-source BFS distance field from [dsts] over the unobstructed
+   grid: distances.(y*w + x) is the number of 4-connected steps to the
+   nearest destination.  On an unobstructed grid that is exactly the
+   minimum Manhattan distance, so the field substitutes for the per-call
+   fold over the destination list without changing a single f-score. *)
+let heuristic_field ~w ~h dsts =
+  let dist = Array.make (w * h) (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun (x, y) ->
+      let i = (y * w) + x in
+      if dist.(i) < 0 then begin
+        dist.(i) <- 0;
+        Queue.add i queue
+      end)
+    dsts;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let d = dist.(i) + 1 in
+    let x = i mod w and y = i / w in
+    let visit j =
+      if dist.(j) < 0 then begin
+        dist.(j) <- d;
+        Queue.add j queue
+      end
+    in
+    if x > 0 then visit (i - 1);
+    if x < w - 1 then visit (i + 1);
+    if y > 0 then visit (i - w);
+    if y < h - 1 then visit (i + w)
+  done;
+  dist
+
+let search_multi ?stats:st ?field_cache ?(extra_cost = fun _ -> 0.) grid
+    ~srcs ~dsts ~usable ~use_weights =
   let srcs = List.filter usable srcs and dsts = List.filter usable dsts in
   if srcs = [] || dsts = [] then None
   else begin
@@ -27,10 +60,27 @@ let search_multi ?stats:st ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts
       List.iter (fun xy -> Hashtbl.replace goals xy ()) dsts;
       fun xy -> Hashtbl.mem goals xy
     in
-    let heuristic xy =
-      List.fold_left (fun acc d -> Float.min acc (manhattan xy d)) infinity
-        dsts
+    (* The field depends only on the usable destination set, so repeated
+       searches against the same targets (delay candidates, negotiation
+       iterations) can share one build through [field_cache].  The cache
+       is keyed on the filtered list — a different usable-set yields a
+       different key, never a stale field. *)
+    let build_field () =
+      Mfb_util.Telemetry.incr ~cat:"route" "heuristic_field_builds";
+      heuristic_field ~w ~h dsts
     in
+    let field =
+      match field_cache with
+      | None -> build_field ()
+      | Some tbl ->
+        (match Hashtbl.find_opt tbl dsts with
+         | Some f -> f
+         | None ->
+           let f = build_field () in
+           Hashtbl.add tbl dsts f;
+           f)
+    in
+    let heuristic xy = float_of_int field.(idx xy) in
     let g_cost = Array.make (w * h) infinity in
     let parent = Array.make (w * h) None in
     let closed = Array.make (w * h) false in
@@ -76,17 +126,28 @@ let search_multi ?stats:st ?(extra_cost = fun _ -> 0.) grid ~srcs ~dsts
         else begin
           closed.(idx xy) <- true;
           incr expansions;
-          let expand n =
-            if (not closed.(idx n)) && usable n then begin
-              let tentative = g_cost.(idx xy) +. step_cost grid ~use_weights n in
-              if tentative < g_cost.(idx n) -. 1e-12 then begin
-                g_cost.(idx n) <- tentative;
-                parent.(idx n) <- Some xy;
-                push (tentative +. heuristic n) n
+          (* Unrolled 4-neighbour walk, same order as Rgrid.neighbours
+             (west, east, north, south) so the open-queue tie-breaking
+             is unchanged — without allocating the neighbour list. *)
+          let g_here = g_cost.(idx xy) in
+          let expand nx ny =
+            if nx >= 0 && ny >= 0 && nx < w && ny < h then begin
+              let n = (nx, ny) in
+              if (not closed.(idx n)) && usable n then begin
+                let tentative = g_here +. step_cost grid ~use_weights n in
+                if tentative < g_cost.(idx n) -. 1e-12 then begin
+                  g_cost.(idx n) <- tentative;
+                  parent.(idx n) <- Some xy;
+                  push (tentative +. heuristic n) n
+                end
               end
             end
           in
-          List.iter expand (Rgrid.neighbours grid xy);
+          let x, y = xy in
+          expand (x - 1) y;
+          expand (x + 1) y;
+          expand x (y - 1);
+          expand x (y + 1);
           loop ()
         end
     in

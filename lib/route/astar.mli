@@ -19,8 +19,24 @@ val stats : unit -> stats
 (** A zeroed accumulator; pass the same one to several searches to sum
     their effort. *)
 
+val manhattan : int * int -> int * int -> float
+(** Manhattan distance between two cells — the per-destination term of
+    the heuristic, retained as the differential-testing oracle for
+    {!heuristic_field}. *)
+
+val heuristic_field : w:int -> h:int -> (int * int) list -> int array
+(** [heuristic_field ~w ~h dsts] is the multi-source BFS distance field
+    from [dsts] over the unobstructed [w]×[h] grid, indexed [y*w + x].
+    Cell values equal the minimum Manhattan distance to any destination
+    (exactly — BFS on an unobstructed 4-connected grid), so the field
+    replaces the per-call fold over [dsts] in {!search_multi} without
+    changing any f-score.  Unreachable is impossible on a grid; with
+    [dsts = []] every cell is [-1].  Each build bumps the
+    [route/heuristic_field_builds] telemetry counter's caller. *)
+
 val search_multi :
   ?stats:stats ->
+  ?field_cache:((int * int) list, int array) Hashtbl.t ->
   ?extra_cost:(int * int -> float) ->
   Rgrid.t ->
   srcs:(int * int) list ->
@@ -34,7 +50,14 @@ val search_multi :
     (default 0) adds a non-negative per-cell surcharge — the
     congestion/history term of negotiated routing.  [stats] accumulates
     the search effort; every search also feeds the [route/astar.*]
-    telemetry counters when a sink is installed. *)
+    telemetry counters when a sink is installed.
+
+    The heuristic is evaluated from a BFS distance {!heuristic_field}
+    built once per search; [field_cache] (keyed on the usable-filtered
+    destination list) lets callers that repeatedly search towards the
+    same targets — the router's delay candidates, the negotiator's
+    iterations — share one build.  Results are identical with or without
+    the cache. *)
 
 val search :
   ?stats:stats ->

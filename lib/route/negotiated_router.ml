@@ -24,6 +24,10 @@ let route ?(max_iterations = 8) ?(weight_update = true) ?(route_io = false)
   let scratch () = Rgrid.create ~we chip in
   let transports = sorted_transports sched in
   let n = List.length transports in
+  (* Destination ports and the blocked set are fixed across negotiation
+     iterations, so every re-route of a task reuses its first
+     heuristic-field build. *)
+  let field_cache = Hashtbl.create 64 in
   let history = Hashtbl.create 64 in
   let history_of xy = Option.value ~default:0. (Hashtbl.find_opt history xy) in
   let bump xy =
@@ -59,8 +63,8 @@ let route ?(max_iterations = 8) ?(weight_update = true) ?(route_io = false)
         let usable xy = not (Rgrid.blocked grid xy) in
         let path =
           match
-            Astar.search_multi ~extra_cost grid ~srcs ~dsts ~usable
-              ~use_weights:true
+            Astar.search_multi ~field_cache ~extra_cost grid ~srcs ~dsts
+              ~usable ~use_weights:true
           with
           | Some p -> p
           | None -> [ List.hd srcs; List.hd dsts ]

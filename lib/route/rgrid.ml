@@ -3,10 +3,26 @@ module Fluid = Mfb_bioassay.Fluid
 
 type occupation = { interval : Interval.t; fluid : Fluid.t }
 
+(* Per-cell occupation index, rebuilt lazily after writes:
+
+   - [sorted]: occupations ordered by (interval end, position in the
+     canonical list) — binary search splits any query into a "settled
+     past" prefix (hi <= t) and a small "active tail" suffix.
+   - [ptop]: for each prefix length, the best and second-best
+     end-plus-wash bound [B(o) = hi(o) +. wash_time(o.fluid)] grouped by
+     fluid (the two entries always name distinct fluids).  The wash
+     constraint against a query fluid [f] needs [max B(o)] over prior
+     occupations whose fluid differs from [f]; that is the best entry
+     when its fluid differs from [f] and the second-best otherwise
+     (same-fluid priors need no wash). *)
 type cell = {
   mutable weight : float;
   mutable occs : occupation list; (* sorted by interval start *)
   blocked : bool;
+  mutable dirty : bool;
+  mutable sorted : occupation array; (* by (interval end, list position) *)
+  mutable ends : float array; (* interval ends of [sorted] *)
+  mutable ptop : ((Fluid.t * float) option * (Fluid.t * float) option) array;
 }
 
 type t = {
@@ -51,7 +67,8 @@ let create ~we (chip : Mfb_place.Chip.t) =
   let cells =
     Array.init (chip.width * chip.height) (fun i ->
         let xy = (i mod chip.width, i / chip.width) in
-        { weight = we; occs = []; blocked = Hashtbl.mem blocked_tbl xy })
+        { weight = we; occs = []; blocked = Hashtbl.mem blocked_tbl xy;
+          dirty = false; sorted = [||]; ends = [||]; ptop = [||] })
   in
   let g =
     { grid_width = chip.width; grid_height = chip.height; cells;
@@ -92,7 +109,8 @@ let add_occupation g xy occ =
       if Interval.compare occ.interval o.interval <= 0 then occ :: all
       else o :: insert rest
   in
-  cell.occs <- insert cell.occs
+  cell.occs <- insert cell.occs;
+  cell.dirty <- true
 
 let ports g c =
   if c < 0 || c >= Array.length g.ports then
@@ -109,7 +127,75 @@ let port g c =
 let wash_between prior fluid =
   if Fluid.equal prior.fluid fluid then 0. else Fluid.wash_time prior.fluid
 
-let conflict_free g xy iv fluid =
+(* ---- Index maintenance ---------------------------------------------- *)
+
+let refresh cell =
+  if cell.dirty then begin
+    let arr = Array.of_list cell.occs in
+    (* Stable sort by interval end keeps the canonical list order among
+       equal ends — wash_debt's tie-break depends on it. *)
+    Array.stable_sort
+      (fun a b -> Float.compare (Interval.hi a.interval) (Interval.hi b.interval))
+      arr;
+    let n = Array.length arr in
+    let ends = Array.make n 0. in
+    let ptop = Array.make n (None, None) in
+    let top = ref (None, None) in
+    for i = 0 to n - 1 do
+      let o = arr.(i) in
+      ends.(i) <- Interval.hi o.interval;
+      let f = o.fluid in
+      let b = Interval.hi o.interval +. Fluid.wash_time f in
+      let best, second = !top in
+      (top :=
+         match best, second with
+         | None, _ -> (Some (f, b), None)
+         | Some (f1, v1), _ when Fluid.equal f f1 ->
+           (Some (f1, Float.max v1 b), second)
+         | Some (f1, v1), Some (f2, v2) when Fluid.equal f f2 ->
+           let v2 = Float.max v2 b in
+           if v2 > v1 then (Some (f2, v2), Some (f1, v1))
+           else (Some (f1, v1), Some (f2, v2))
+         | Some (f1, v1), second ->
+           if b > v1 then (Some (f, b), Some (f1, v1))
+           else (
+             match second with
+             | Some (_, v2) when b <= v2 -> (Some (f1, v1), second)
+             | _ -> (Some (f1, v1), Some (f, b))));
+      ptop.(i) <- !top
+    done;
+    cell.sorted <- arr;
+    cell.ends <- ends;
+    cell.ptop <- ptop;
+    cell.dirty <- false
+  end
+
+(* Number of occupations whose interval end is [<= t]: upper bound by
+   binary search on the end-sorted array. *)
+let settled_before cell t =
+  let lo = ref 0 and hi = ref (Array.length cell.ends) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cell.ends.(mid) <= t then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* [max (hi o +. wash_time o.fluid)] over the first [r] end-sorted
+   occupations whose fluid differs from [fluid]; None when no such
+   occupation exists.  Same-fluid priors impose no wash, so the top-two
+   distinct-fluid maxima decide the query. *)
+let wash_bound cell r fluid =
+  if r = 0 then None
+  else
+    match cell.ptop.(r - 1) with
+    | Some (f1, v1), second ->
+      if not (Fluid.equal f1 fluid) then Some v1
+      else Option.map snd second
+    | None, _ -> None
+
+(* ---- Reference implementations (retained for differential tests) ---- *)
+
+let conflict_free_ref g xy iv fluid =
   let cell = cell_exn g xy in
   (not cell.blocked)
   && List.for_all
@@ -121,7 +207,7 @@ let conflict_free g xy iv fluid =
          else true)
        cell.occs
 
-let required_delay g xy iv fluid =
+let required_delay_ref g xy iv fluid =
   let cell = cell_exn g xy in
   if cell.blocked then infinity
   else begin
@@ -151,7 +237,7 @@ let required_delay g xy iv fluid =
     settle 0. (List.length cell.occs + 2)
   end
 
-let wash_debt g xy ~at fluid =
+let wash_debt_ref g xy ~at fluid =
   let cell = cell_exn g xy in
   let latest_prior =
     List.fold_left
@@ -168,6 +254,100 @@ let wash_debt g xy ~at fluid =
   match latest_prior with
   | Some o -> wash_between o fluid
   | None -> 0.
+
+(* ---- Indexed hot paths ----------------------------------------------
+
+   All three queries split the cell's occupations at the query start:
+   the prefix (ended at or before it) can only impose wash separation,
+   answered in O(log n) from the precomputed bound; only the suffix —
+   occupations still active near the query, typically a handful — is
+   scanned for genuine time overlaps.  Each returns bit-identical
+   results to its [_ref] twin: the prefix/suffix split mirrors the
+   reference's branch structure exactly, and max-of-differences equals
+   difference-of-max because subtracting the same float is monotone. *)
+
+let conflict_free g xy iv fluid =
+  let cell = cell_exn g xy in
+  if cell.blocked then false
+  else begin
+    refresh cell;
+    let n = Array.length cell.sorted in
+    if n = 0 then true
+    else begin
+      let lo = Interval.lo iv in
+      let r = settled_before cell lo in
+      let wash_ok =
+        match wash_bound cell r fluid with
+        | None -> true
+        | Some m -> lo +. 1e-9 >= m
+      in
+      wash_ok
+      &&
+      let ok = ref true in
+      let i = ref r in
+      while !ok && !i < n do
+        if Interval.overlaps cell.sorted.(!i).interval iv then ok := false;
+        incr i
+      done;
+      !ok
+    end
+  end
+
+let required_delay g xy iv fluid =
+  let cell = cell_exn g xy in
+  if cell.blocked then infinity
+  else begin
+    refresh cell;
+    let n = Array.length cell.sorted in
+    let rec settle delay fuel =
+      if fuel = 0 then delay
+      else begin
+        let shifted = Interval.shift iv delay in
+        let slo = Interval.lo shifted in
+        let r = settled_before cell slo in
+        (* Prefix: ended occupations whose wash window still covers the
+           shifted start. *)
+        let bound =
+          match wash_bound cell r fluid with
+          | Some m when slo +. 1e-9 < m -> m
+          | _ -> neg_infinity
+        in
+        (* Suffix: occupations still active after the shifted start. *)
+        let bound = ref bound in
+        for i = r to n - 1 do
+          let o = cell.sorted.(i) in
+          if Interval.overlaps o.interval shifted then
+            bound :=
+              Float.max !bound
+                (Interval.hi o.interval +. wash_between o fluid)
+        done;
+        let worst =
+          if !bound = neg_infinity then 0.
+          else Float.max 0. (!bound -. slo)
+        in
+        if worst <= 1e-9 then delay else settle (delay +. worst) (fuel - 1)
+      end
+    in
+    settle 0. (n + 2)
+  end
+
+let wash_debt g xy ~at fluid =
+  let cell = cell_exn g xy in
+  refresh cell;
+  let r = settled_before cell (at +. 1e-9) in
+  if r = 0 then 0.
+  else begin
+    let maxhi = cell.ends.(r - 1) in
+    (* First end-sorted slot reaching [maxhi]: the stable sort keeps the
+       canonical list order among equal ends, so this is the same
+       occupation the reference fold selects. *)
+    let lo = ref 0 and hi = ref (r - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cell.ends.(mid) >= maxhi then hi := mid else lo := mid + 1
+    done;
+    wash_between cell.sorted.(!lo) fluid
+  end
 
 let neighbours g (x, y) =
   List.filter (in_bounds g) [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ]

@@ -63,6 +63,25 @@ val wash_debt :
     the wash time of the latest prior occupation's residue when it
     differs from the incoming fluid, else [0.]. *)
 
+val conflict_free_ref :
+  t -> int * int -> Mfb_util.Interval.t -> Mfb_bioassay.Fluid.t -> bool
+(** Reference implementation of {!conflict_free}: a linear fold over the
+    cell's occupation list.  The production query answers the settled
+    prefix (occupations ended before the query starts) in O(log n) from
+    a sorted-array index and only scans the active tail; this fold is
+    retained as the differential-testing oracle — the two must agree
+    bit-for-bit on every input. *)
+
+val required_delay_ref :
+  t -> int * int -> Mfb_util.Interval.t -> Mfb_bioassay.Fluid.t -> float
+(** Reference implementation of {!required_delay} (linear fold per
+    settle iteration); differential-testing oracle. *)
+
+val wash_debt_ref :
+  t -> int * int -> at:float -> Mfb_bioassay.Fluid.t -> float
+(** Reference implementation of {!wash_debt} (linear fold);
+    differential-testing oracle. *)
+
 val neighbours : t -> int * int -> (int * int) list
 (** In-bounds 4-neighbourhood. *)
 

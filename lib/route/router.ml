@@ -24,9 +24,12 @@ let delay_candidates = [ 0.; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0 ]
 let route_task ~weight_update grid ~tc (tr : Types.transport) =
   let srcs = Rgrid.ports grid tr.src and dsts = Rgrid.ports grid tr.dst in
   let effort = Astar.stats () in
+  (* All delay candidates aim at the same destination ports, so they
+     share one heuristic-field build per distinct usable-set. *)
+  let field_cache = Hashtbl.create 4 in
   let attempt delay =
     let usable xy = Routed.usable grid ~tc tr ~delay ~src_ports:srcs xy in
-    Astar.search_multi ~stats:effort grid ~srcs ~dsts ~usable
+    Astar.search_multi ~stats:effort ~field_cache grid ~srcs ~dsts ~usable
       ~use_weights:weight_update
   in
   let score delay path =
@@ -69,8 +72,8 @@ let route_task ~weight_update grid ~tc (tr : Types.transport) =
     let usable xy = not (Rgrid.blocked grid xy) in
     let path =
       match
-        Astar.search_multi ~stats:effort grid ~srcs ~dsts ~usable
-          ~use_weights:false
+        Astar.search_multi ~stats:effort ~field_cache grid ~srcs ~dsts
+          ~usable ~use_weights:false
       with
       | Some p -> p
       | None -> [ List.hd srcs; List.hd dsts ] (* degenerate fallback *)

@@ -93,26 +93,29 @@ The metrics table itself is a deterministic artifact (every aggregate is
 algorithm-driven — counters, bindings, search effort — never wall-clock):
 
   $ ../../bin/dcsa_synth.exe run -b PCR --sa-restarts 2 --jobs 2 --metrics 2>/dev/null | tail -n +3
-  +-----------+------+----------+----------------------+-----------------------------------------+
-  | Benchmark | Flow | Category |        Metric        |                  Value                  |
-  +-----------+------+----------+----------------------+-----------------------------------------+
-  | PCR       | ours | place    | sa.accepted          |                                   14826 |
-  | PCR       | ours | place    | sa.attempted         |                                   26400 |
-  | PCR       | ours | place    | sa.energy            | n=176 mean=18.6 min=11.0235 max=37.8754 |
-  | PCR       | ours | place    | sa.temperature_steps |                                     176 |
-  | PCR       | ours | route    | astar.expansions     |                                     387 |
-  | PCR       | ours | route    | astar.pops           |                                     414 |
-  | PCR       | ours | route    | astar.pushes         |                                     702 |
-  | PCR       | ours | route    | astar.searches       |                                      27 |
-  | PCR       | ours | route    | task.path_cells      |              n=3 mean=2.333 min=1 max=5 |
-  | PCR       | ours | schedule | bindings.case1       |                                       3 |
-  | PCR       | ours | schedule | bindings.case2       |                                       4 |
-  | PCR       | ours | schedule | ready_queue.depth    |              n=7 mean=2.286 min=1 max=4 |
-  | PCR       | ours | schedule | transports           |                                       3 |
-  | PCR       | ours | schedule | washes.departure     |                                       2 |
-  | PCR       | ours | schedule | washes.evict         |                                       1 |
-  | PCR       | ours | schedule | washes.sink          |                                       1 |
-  +-----------+------+----------+----------------------+-----------------------------------------+
+  +-----------+------+----------+------------------------+-----------------------------------------+
+  | Benchmark | Flow | Category |         Metric         |                  Value                  |
+  +-----------+------+----------+------------------------+-----------------------------------------+
+  | PCR       | ours | place    | delta_evals            |                                  165316 |
+  | PCR       | ours | place    | resyncs                |                                     389 |
+  | PCR       | ours | place    | sa.accepted            |                                   14826 |
+  | PCR       | ours | place    | sa.attempted           |                                   26400 |
+  | PCR       | ours | place    | sa.energy              | n=176 mean=18.6 min=11.0235 max=37.8754 |
+  | PCR       | ours | place    | sa.temperature_steps   |                                     176 |
+  | PCR       | ours | route    | astar.expansions       |                                     387 |
+  | PCR       | ours | route    | astar.pops             |                                     414 |
+  | PCR       | ours | route    | astar.pushes           |                                     702 |
+  | PCR       | ours | route    | astar.searches         |                                      27 |
+  | PCR       | ours | route    | heuristic_field_builds |                                       3 |
+  | PCR       | ours | route    | task.path_cells        |              n=3 mean=2.333 min=1 max=5 |
+  | PCR       | ours | schedule | bindings.case1         |                                       3 |
+  | PCR       | ours | schedule | bindings.case2         |                                       4 |
+  | PCR       | ours | schedule | ready_queue.depth      |              n=7 mean=2.286 min=1 max=4 |
+  | PCR       | ours | schedule | transports             |                                       3 |
+  | PCR       | ours | schedule | washes.departure       |                                       2 |
+  | PCR       | ours | schedule | washes.evict           |                                       1 |
+  | PCR       | ours | schedule | washes.sink            |                                       1 |
+  +-----------+------+----------+------------------------+-----------------------------------------+
 
 --trace writes a Chrome trace_event file; the trace subcommand validates
 it and summarises with deterministic event counts (timestamps vary, the

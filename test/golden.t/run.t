@@ -1,0 +1,22 @@
+Golden-corpus regression: the hot-path optimizations (incremental SA
+energy, BFS heuristic field, array-backed Rgrid occupation index) must
+not change a single byte of `Result.to_json` on any bundled benchmark.
+The *.golden.json files were frozen from the pre-optimization build
+(timing fields stripped — they are the only wall-clock-dependent
+output) and every run, at --jobs 1 and --jobs 2, is compared with cmp.
+
+  $ check() {
+  >   for j in 1 2; do
+  >     ../../bin/dcsa_synth.exe run -b "$1" --jobs $j --json 2>/dev/null \
+  >       | grep -vE '(cpu|wall)_time_s' > "$1_jobs$j.json"
+  >     cmp "$1_jobs$j.golden.json" "$1_jobs$j.json" || echo "GOLDEN MISMATCH: $1 jobs=$j"
+  >   done
+  > }
+
+  $ check PCR
+  $ check IVD
+  $ check CPA
+  $ check Synthetic1
+  $ check Synthetic2
+  $ check Synthetic3
+  $ check Synthetic4

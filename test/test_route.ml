@@ -132,6 +132,59 @@ let test_neighbours () =
   Alcotest.(check int) "interior has 4" 4
     (List.length (Rgrid.neighbours grid (5, 5)))
 
+let test_required_delay_fuel () =
+  (* Adversarial cascade: occupations spaced so that every settle jump
+     lands inside the next one, forcing one iteration per occupation.
+     The fuel budget (n + 2) must still settle the query — each
+     occupation can trigger at most one jump, because the shift moves
+     the window past its wash horizon — and the result must match the
+     reference fold and actually be conflict-free. *)
+  let grid = grid_of (1, 0, 0, 0) in
+  let cell = (0, 0) in
+  let n = 10 in
+  for k = 0 to n - 1 do
+    let lo = float_of_int k *. 1.25 in
+    Rgrid.add_occupation grid cell
+      { Rgrid.interval = Interval.make lo (lo +. 1.);
+        fluid = (if k mod 2 = 0 then easy else hard) }
+  done;
+  let iv = Interval.make 0. 0.5 in
+  let d = Rgrid.required_delay grid cell iv easy in
+  Alcotest.(check bool) "finite" true (Float.is_finite d);
+  Alcotest.(check bool) "cascaded past the chain" true
+    (d >= float_of_int (n - 1) *. 1.25);
+  Alcotest.(check (float 0.)) "matches reference" d
+    (Rgrid.required_delay_ref grid cell iv easy);
+  Alcotest.(check bool) "settled window is free" true
+    (Rgrid.conflict_free grid cell (Interval.shift iv d) easy)
+
+let test_wash_debt_boundaries () =
+  let grid = grid_of (1, 0, 0, 0) in
+  let cell = (0, 0) in
+  Rgrid.add_occupation grid cell
+    { Rgrid.interval = Interval.make 0. 5.; fluid = hard };
+  (* Exactly at the occupation end: the 1e-9 tolerance admits it. *)
+  Alcotest.(check (float 0.)) "at = hi counts as prior"
+    (Fluid.wash_time hard)
+    (Rgrid.wash_debt grid cell ~at:5. easy);
+  (* Just before the end: not yet a prior. *)
+  Alcotest.(check (float 0.)) "at < hi is not a prior" 0.
+    (Rgrid.wash_debt grid cell ~at:4.999999 easy);
+  (* Identical fluid never owes a wash, boundary or not. *)
+  Alcotest.(check (float 0.)) "identical fluid at boundary" 0.
+    (Rgrid.wash_debt grid cell ~at:5. hard);
+  (* Tie on the interval end: the canonical list order (interval
+     ascending, later insertions first among equals) picks the winner;
+     the indexed and reference implementations must agree. *)
+  Rgrid.add_occupation grid cell
+    { Rgrid.interval = Interval.make 2. 5.; fluid = easy };
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.)) "tie matches reference"
+        (Rgrid.wash_debt_ref grid cell ~at:6. f)
+        (Rgrid.wash_debt grid cell ~at:6. f))
+    [ easy; hard ]
+
 (* --- A* --- *)
 
 let free_grid () =
@@ -218,6 +271,36 @@ let test_path_cost () =
     (Astar.path_cost grid ~use_weights:false [ (6, 6); (7, 6); (8, 6) ]);
   Alcotest.(check (float 1e-9)) "weighted" (3. +. (3. *. we))
     (Astar.path_cost grid ~use_weights:true [ (6, 6); (7, 6); (8, 6) ])
+
+let test_astar_tie_breaking_deterministic () =
+  (* A diagonal search on an open grid has many equal-cost paths; the
+     search must pick the same one on every run, on a fresh grid, and
+     with or without a shared heuristic-field cache (the open-queue
+     tie-breaking depends only on the push sequence, which the BFS field
+     preserves). *)
+  let search ?field_cache grid =
+    let usable xy = not (Rgrid.blocked grid xy) in
+    match
+      Astar.search_multi ?field_cache grid ~srcs:[ (5, 5) ]
+        ~dsts:[ (11, 11); (11, 10) ]
+        ~usable ~use_weights:false
+    with
+    | Some path -> path
+    | None -> Alcotest.fail "no path on free grid"
+  in
+  let grid = free_grid () in
+  let reference = search grid in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "stable across runs" true (search grid = reference)
+  done;
+  Alcotest.(check bool) "stable across grids" true
+    (search (free_grid ()) = reference);
+  let field_cache = Hashtbl.create 4 in
+  Alcotest.(check bool) "cold cache identical" true
+    (search ~field_cache grid = reference);
+  Alcotest.(check bool) "warm cache identical" true
+    (search ~field_cache grid = reference);
+  Alcotest.(check int) "cache was shared" 1 (Hashtbl.length field_cache)
 
 (* --- Routed helpers --- *)
 
@@ -782,6 +865,10 @@ let suites =
         Alcotest.test_case "required_delay" `Quick test_required_delay;
         Alcotest.test_case "wash_debt" `Quick test_wash_debt;
         Alcotest.test_case "neighbours" `Quick test_neighbours;
+        Alcotest.test_case "required_delay fuel on cascades" `Quick
+          test_required_delay_fuel;
+        Alcotest.test_case "wash_debt boundaries" `Quick
+          test_wash_debt_boundaries;
       ] );
     ( "route.astar",
       [
@@ -793,6 +880,8 @@ let suites =
           test_astar_multi_picks_nearest;
         Alcotest.test_case "src = dst" `Quick test_astar_src_is_dst;
         Alcotest.test_case "path cost" `Quick test_path_cost;
+        Alcotest.test_case "tie-breaking deterministic" `Quick
+          test_astar_tie_breaking_deterministic;
       ] );
     ( "route.occupancy",
       [
