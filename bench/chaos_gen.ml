@@ -78,7 +78,7 @@ let submit_of ~id ~bench ~job_seed =
       flow = `Ours;
       spec = P.Benchmark bench;
       overrides =
-        { P.o_seed = Some job_seed; o_tc = None; o_sa_restarts = None };
+        { P.no_overrides with o_seed = Some job_seed };
     }
 
 (* Replay the script: submit everything (batches of [batch] dispatch as

@@ -56,7 +56,7 @@ let submit_of ~id ~job_seed =
       flow = `Ours;
       spec = P.Benchmark "PCR";
       overrides =
-        { P.o_seed = Some job_seed; o_tc = None; o_sa_restarts = None };
+        { P.no_overrides with o_seed = Some job_seed };
     }
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt

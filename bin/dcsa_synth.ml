@@ -60,6 +60,17 @@ let print_result ?(metrics = false) ?(timing = false) ~layout ~schedule
     print_endline (Mfb_util.Json.to_string ~indent:2 (Mfb_core.Result.to_json r))
   else begin
     Format.printf "%a@." Mfb_core.Result.pp_summary r;
+    (match r.decision with
+     | None -> ()
+     | Some d ->
+       Format.printf "backend %s: selected=%s heuristic=%.2fs best=%.2fs \
+                      gap=%.1f%% %s (explored %d of %d)@."
+         (Mfb_schedule.Portfolio.backend_to_string d.backend)
+         (Mfb_schedule.Portfolio.arm_to_string d.selected)
+         d.heuristic_makespan d.makespan
+         (Mfb_schedule.Portfolio.gap_percent d)
+         (if d.optimal then "optimal" else "truncated")
+         d.explored d.fuel);
     if timing then begin
       print_newline ();
       print_string (Mfb_core.Report.timing_table [ r ])
@@ -137,8 +148,36 @@ let sa_restarts_arg =
     & opt positive_int Mfb_core.Config.default.sa_restarts
     & info [ "sa-restarts" ] ~doc ~docv:"N")
 
-let config_of ?(sa_restarts = Mfb_core.Config.default.sa_restarts) tc seed =
-  { Mfb_core.Config.default with tc; seed; sa_restarts }
+let backend_arg =
+  let doc =
+    "Scheduling backend: 'heuristic' (the paper's Alg. 1), 'exact' \
+     (branch-and-bound oracle for small assays), or 'portfolio' (race \
+     both and keep the better schedule)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map
+              (fun b -> (Mfb_schedule.Portfolio.backend_to_string b, b))
+              Mfb_schedule.Portfolio.all_backends))
+        Mfb_schedule.Portfolio.Heuristic
+    & info [ "backend" ] ~doc)
+
+let exact_fuel_arg =
+  let doc =
+    "Node budget (virtual ticks) of the exact backend; when exhausted \
+     the best incumbent is returned with truncated=true."
+  in
+  Arg.(
+    value
+    & opt positive_int Mfb_core.Config.default.exact_fuel
+    & info [ "exact-fuel" ] ~doc ~docv:"N")
+
+let config_of ?(sa_restarts = Mfb_core.Config.default.sa_restarts)
+    ?(backend = Mfb_core.Config.default.backend)
+    ?(exact_fuel = Mfb_core.Config.default.exact_fuel) tc seed =
+  { Mfb_core.Config.default with tc; seed; sa_restarts; backend; exact_fuel }
 
 let flow_arg =
   let doc = "Which flow to run: 'ours' (the paper's) or 'ba' (baseline)." in
@@ -249,17 +288,21 @@ let list_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let action verbose benchmark input alloc flow tc seed sa_restarts jobs
-      layout schedule gantt json svg trace metrics timing =
+  let action verbose benchmark input alloc flow tc seed sa_restarts backend
+      exact_fuel jobs layout schedule gantt json svg trace metrics timing =
     setup_logs verbose;
-    match resolve_instance ~benchmark ~input ~alloc with
-    | Error msg -> `Error (false, msg)
-    | Ok inst ->
-      let config = config_of ~sa_restarts tc seed in
-      with_telemetry ~verbose ~trace ~metrics (fun () ->
-          print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
-            (run_one ~jobs ~config ~flow inst));
-      `Ok ()
+    if flow = `Ba && backend <> Mfb_schedule.Portfolio.Heuristic then
+      `Error (false, "--backend exact/portfolio replaces the DCSA \
+                      scheduler; it cannot run with --flow ba")
+    else
+      match resolve_instance ~benchmark ~input ~alloc with
+      | Error msg -> `Error (false, msg)
+      | Ok inst ->
+        let config = config_of ~sa_restarts ~backend ~exact_fuel tc seed in
+        with_telemetry ~verbose ~trace ~metrics (fun () ->
+            print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
+              (run_one ~jobs ~config ~flow inst));
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "run"
@@ -269,7 +312,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ verbose_arg $ benchmark_arg $ input_arg $ alloc_arg
-       $ flow_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ jobs_arg
+       $ flow_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg
+       $ exact_fuel_arg $ jobs_arg
        $ layout_arg $ schedule_arg $ gantt_arg $ json_arg $ svg_arg
        $ trace_arg $ metrics_arg $ timing_arg))
 
@@ -342,8 +386,8 @@ let synth_cmd =
   let gseed_arg =
     Arg.(value & opt int 1 & info [ "s"; "graph-seed" ] ~doc:"Generator seed.")
   in
-  let action verbose n_ops gseed tc seed sa_restarts jobs layout schedule
-      gantt json svg trace metrics timing =
+  let action verbose n_ops gseed tc seed sa_restarts backend exact_fuel jobs
+      layout schedule gantt json svg trace metrics timing =
     setup_logs verbose;
     if n_ops < 2 then `Error (false, "need at least 2 operations")
     else begin
@@ -361,7 +405,7 @@ let synth_cmd =
         Mfb_component.Allocation.make ~mixers ~heaters:(max 1 (mixers / 2))
           ~filters:1 ~detectors:1
       in
-      let config = config_of ~sa_restarts tc seed in
+      let config = config_of ~sa_restarts ~backend ~exact_fuel tc seed in
       with_telemetry ~verbose ~trace ~metrics (fun () ->
           print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
             (Mfb_core.Flow.run ~config ~jobs graph allocation));
@@ -374,7 +418,8 @@ let synth_cmd =
     Term.(
       ret
         (const action $ verbose_arg $ n_ops_arg $ gseed_arg $ tc_arg
-       $ seed_arg $ sa_restarts_arg $ jobs_arg $ layout_arg $ schedule_arg
+       $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg
+       $ jobs_arg $ layout_arg $ schedule_arg
        $ gantt_arg $ json_arg $ svg_arg $ trace_arg $ metrics_arg
        $ timing_arg))
 
@@ -639,7 +684,7 @@ let worker_cmd =
     let doc = "Fleet slot index of this worker (set by the supervisor)." in
     Arg.(value & opt int 0 & info [ "index" ] ~doc ~docv:"N")
   in
-  let action index fault_plan tc seed sa_restarts =
+  let action index fault_plan tc seed sa_restarts backend exact_fuel =
     let fault =
       match fault_plan with
       | None -> Ok Mfb_cluster.Fault.empty
@@ -649,7 +694,7 @@ let worker_cmd =
     | Error msg -> `Error (false, msg)
     | Ok fault ->
       Mfb_cluster.Worker_main.run ~fault ~index
-        ~config:(config_of ~sa_restarts tc seed)
+        ~config:(config_of ~sa_restarts ~backend ~exact_fuel tc seed)
         stdin stdout;
       `Ok ()
   in
@@ -664,7 +709,7 @@ let worker_cmd =
     Term.(
       ret
         (const action $ index_arg $ fault_plan_arg $ tc_arg $ seed_arg
-       $ sa_restarts_arg))
+       $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
 
 (* --- serve --- *)
 
@@ -733,7 +778,8 @@ let serve_cmd =
       & info [ "worker-bin" ] ~doc ~docv:"PATH")
   in
   let action jobs cache_size no_cache queue_depth batch fleet fault_plan
-      worker_timeout max_retries worker_bin tc seed sa_restarts =
+      worker_timeout max_retries worker_bin tc seed sa_restarts backend
+      exact_fuel =
     if cache_size < 0 then
       `Error (false, "--cache-size must be non-negative")
     else if fleet < 0 then `Error (false, "--fleet must be non-negative")
@@ -747,7 +793,7 @@ let serve_cmd =
           cache_capacity = (if no_cache then 0 else cache_size);
           queue_depth;
           batch;
-          flow_config = config_of ~sa_restarts tc seed;
+          flow_config = config_of ~sa_restarts ~backend ~exact_fuel tc seed;
         }
       in
       if fleet = 0 then begin
@@ -765,7 +811,9 @@ let serve_cmd =
             ([ bin; "worker"; "--index"; string_of_int slot;
                "--tc"; Printf.sprintf "%.17g" tc;
                "--seed"; string_of_int seed;
-               "--sa-restarts"; string_of_int sa_restarts ]
+               "--sa-restarts"; string_of_int sa_restarts;
+               "--backend"; Mfb_schedule.Portfolio.backend_to_string backend;
+               "--exact-fuel"; string_of_int exact_fuel ]
             @ (match fault_plan with
                | None -> []
                | Some path -> [ "--fault-plan"; path ]))
@@ -811,7 +859,7 @@ let serve_cmd =
         (const action $ serve_jobs_arg $ cache_size_arg $ no_cache_arg
        $ queue_depth_arg $ batch_arg $ fleet_arg $ fault_plan_arg
        $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg $ tc_arg
-       $ seed_arg $ sa_restarts_arg))
+       $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
 
 let () =
   let doc =

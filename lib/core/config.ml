@@ -6,11 +6,15 @@ type t = {
   sa : Mfb_place.Annealer.params;
   sa_restarts : int;
   seed : int;
+  backend : Mfb_schedule.Portfolio.backend;
+  exact_fuel : int;
 }
 
 let default =
   { tc = 2.0; we = 10.0; beta = 0.6; gamma = 0.4;
-    sa = Mfb_place.Annealer.default_params; sa_restarts = 1; seed = 42 }
+    sa = Mfb_place.Annealer.default_params; sa_restarts = 1; seed = 42;
+    backend = Mfb_schedule.Portfolio.Heuristic;
+    exact_fuel = Mfb_schedule.Exact.default_fuel }
 
 let to_json cfg =
   let module J = Mfb_util.Json in
@@ -30,6 +34,9 @@ let to_json cfg =
           ] );
       ("sa_restarts", J.Int cfg.sa_restarts);
       ("seed", J.Int cfg.seed);
+      ( "backend",
+        J.String (Mfb_schedule.Portfolio.backend_to_string cfg.backend) );
+      ("exact_fuel", J.Int cfg.exact_fuel);
     ]
 
 let validate cfg =
@@ -37,4 +44,5 @@ let validate cfg =
   if cfg.we < 0. then invalid_arg "Config: we must be non-negative";
   if cfg.beta < 0. || cfg.gamma < 0. then
     invalid_arg "Config: beta and gamma must be non-negative";
-  if cfg.sa_restarts < 1 then invalid_arg "Config: sa_restarts must be >= 1"
+  if cfg.sa_restarts < 1 then invalid_arg "Config: sa_restarts must be >= 1";
+  if cfg.exact_fuel < 1 then invalid_arg "Config: exact_fuel must be >= 1"

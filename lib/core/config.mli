@@ -13,6 +13,11 @@ type t = {
           best energy wins deterministically regardless of how many
           domains execute them *)
   seed : int;     (** RNG seed for the annealer *)
+  backend : Mfb_schedule.Portfolio.backend;
+      (** scheduling backend: the DCSA heuristic (default), the exact
+          branch-and-bound oracle, or the portfolio racing both *)
+  exact_fuel : int;
+      (** virtual-tick budget (expanded nodes) of the exact backend *)
 }
 
 val default : t

@@ -17,6 +17,10 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
     ?(jobs = 1) ?(flow_name = "ours") graph allocation =
   Config.validate config;
   if jobs < 1 then invalid_arg "Flow.run: jobs < 1";
+  if config.backend <> Mfb_schedule.Portfolio.Heuristic && scheduler <> `Dcsa
+  then
+    invalid_arg
+      "Flow.run: exact/portfolio backends only replace the DCSA scheduler";
   let started_wall = Unix.gettimeofday () and started_cpu = Sys.time () in
   let stage_times = ref [] in
   (* [timed name f] runs stage [f], logs and records wall vs CPU time.
@@ -35,15 +39,32 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
     v
   in
   let synthesize () =
-  (* Stage 1: binding and scheduling (paper Alg. 1). *)
-  let sched =
+  (* Stage 1: binding and scheduling (paper Alg. 1), or the exact /
+     portfolio backend when the config asks for one. *)
+  let sched, decision =
     timed "schedule" (fun () ->
-        match scheduler with
-        | `Dcsa ->
-          Mfb_schedule.Dcsa_scheduler.schedule ~tc:config.tc graph allocation
-        | `Earliest_ready ->
-          Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph
-            allocation)
+        match config.backend with
+        | Mfb_schedule.Portfolio.Heuristic ->
+          ( (match scheduler with
+            | `Dcsa ->
+              Mfb_schedule.Dcsa_scheduler.schedule ~tc:config.tc graph
+                allocation
+            | `Earliest_ready ->
+              Mfb_schedule.Baseline_scheduler.schedule ~tc:config.tc graph
+                allocation),
+            None )
+        | Mfb_schedule.Portfolio.Exact ->
+          let sched, decision =
+            Mfb_schedule.Portfolio.exact ~fuel:config.exact_fuel
+              ~tc:config.tc graph allocation
+          in
+          (sched, Some decision)
+        | Mfb_schedule.Portfolio.Portfolio ->
+          let sched, decision =
+            Mfb_schedule.Portfolio.race ~fuel:config.exact_fuel ~jobs
+              ~tc:config.tc graph allocation
+          in
+          (sched, Some decision))
   in
   (* Stage 2: placement (paper Alg. 2, lines 1-8). *)
   let nets = Mfb_place.Net.of_schedule sched in
@@ -104,12 +125,12 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
     if delays = [] && op_delays = [] then sched
     else Mfb_schedule.Retime.with_transport_delays ~op_delays sched ~delays
   in
-  (final_sched, chip, routing)
+  (final_sched, chip, routing, decision)
   in
   (* The whole run executes under a telemetry scope, so the metrics
      attached to the result cover exactly this run's collectors (its
      pool tasks included) and nothing from concurrent suite instances. *)
-  let (final_sched, chip, routing), metrics =
+  let (final_sched, chip, routing, decision), metrics =
     Telemetry.with_scope
       (Printf.sprintf "run:%s/%s" (Mfb_bioassay.Seq_graph.name graph)
          flow_name)
@@ -122,4 +143,5 @@ let run ?(config = Config.default) ?(scheduler = `Dcsa)
     ~wall_time:(Unix.gettimeofday () -. started_wall)
     ~stage_times:(List.rev !stage_times)
     ~metrics
+    ?decision
     ~schedule:final_sched ~chip ~routing ()

@@ -18,10 +18,11 @@ type t = {
   wall_time : float;
   stage_times : stage_time list;
   metrics : Mfb_util.Telemetry.metric list;
+  decision : Mfb_schedule.Portfolio.decision option;
 }
 
 let of_stages ~benchmark ~flow ~cpu_time ?wall_time ?(stage_times = [])
-    ?(metrics = []) ~schedule ~chip ~routing () =
+    ?(metrics = []) ?decision ~schedule ~chip ~routing () =
   {
     benchmark; flow; schedule; chip; routing;
     execution_time = Metrics.completion_time schedule;
@@ -34,6 +35,7 @@ let of_stages ~benchmark ~flow ~cpu_time ?wall_time ?(stage_times = [])
     wall_time = Option.value wall_time ~default:cpu_time;
     stage_times;
     metrics;
+    decision;
   }
 
 type summary = {
@@ -118,6 +120,13 @@ let to_json r =
         ("cpu_time_s", Mfb_util.Json.Float r.cpu_time);
         ("wall_time_s", Mfb_util.Json.Float r.wall_time);
       ]
+    (* The backend decision, like the summary fields, is deterministic;
+       it is absent for the heuristic backend so that heuristic output
+       stays byte-identical to pre-backend versions. *)
+    @ (match r.decision with
+      | None -> []
+      | Some d ->
+        [ ("backend", Mfb_schedule.Portfolio.decision_to_json d) ])
     @
     (* Telemetry aggregates are deterministic (jobs-invariant), unlike
        the timing fields above; present only when a sink was live. *)

@@ -29,6 +29,9 @@ type t = {
   (** telemetry aggregates scoped to this run ([[]] when no sink was
       installed); deterministic — bit-for-bit identical for every
       [--jobs] value, unlike the timing fields *)
+  decision : Mfb_schedule.Portfolio.decision option;
+  (** how the schedule was obtained when a non-heuristic backend ran
+      ([None] for the plain heuristic flow) *)
 }
 
 val of_stages :
@@ -38,6 +41,7 @@ val of_stages :
   ?wall_time:float ->
   ?stage_times:stage_time list ->
   ?metrics:Mfb_util.Telemetry.metric list ->
+  ?decision:Mfb_schedule.Portfolio.decision ->
   schedule:Mfb_schedule.Types.t ->
   chip:Mfb_place.Chip.t ->
   routing:Mfb_route.Routed.result ->
@@ -49,7 +53,9 @@ val of_stages :
 
 val to_json : t -> Mfb_util.Json.t
 (** Scalar metrics only (no schedule/layout dump).  Includes a
-    ["metrics"] object when telemetry aggregates are present. *)
+    ["backend"] object when a non-heuristic backend produced the
+    schedule and a ["metrics"] object when telemetry aggregates are
+    present. *)
 
 (** {2 Deterministic summary}
 

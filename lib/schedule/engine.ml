@@ -400,9 +400,13 @@ module Search = struct
       (List.rev (Seq_graph.topo_order g));
     tail
 
-  let lower_bound snap =
+  let tails = duration_tails
+
+  let lower_bound ?tails snap =
     let g = snap.st.graph in
-    let tails = duration_tails g in
+    let tails =
+      match tails with Some t -> t | None -> duration_tails g
+    in
     let bound_of op =
       match snap.st.times.(op) with
       | Some _ -> 0.
@@ -424,4 +428,45 @@ module Search = struct
       (List.init (Seq_graph.n_ops g) Fun.id)
 
   let to_schedule snap = finalize snap.st snap.allocation
+
+  (* Canonical encoding of everything that can still influence *future*
+     operation times: per-operation progress (unscheduled / live fluid /
+     fully consumed), the finish time and removal state of every live
+     fluid, and every component's (ready, resident) pair.  Finish times
+     of fully consumed fluids are deliberately excluded — they only feed
+     the already-accumulated makespan, which dominance handles as the
+     memo value, not the key.  Two snapshots with equal signatures have
+     bit-identical futures, so the exact search may prune the one whose
+     accumulated makespan is no better ({!Exact}). *)
+  let signature snap =
+    let st = snap.st in
+    let buf = Buffer.create 256 in
+    let add_float f = Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float f)) in
+    Array.iteri
+      (fun op t ->
+        match t with
+        | None -> Buffer.add_string buf "u;"
+        | Some (t : Types.op_times) ->
+          (match st.fluids.(op) with
+           | Some fs when fs.copies > 0 ->
+             (* Live fluid: its production time constrains unscheduled
+                children, and whether it has already left its producer
+                decides if a future transport washes [home]. *)
+             Buffer.add_char buf 's';
+             add_float t.finish;
+             Buffer.add_char buf (if fs.removed_at = None then 'r' else 'x');
+             Buffer.add_string buf (string_of_int fs.home);
+             Buffer.add_char buf ';'
+           | _ -> Buffer.add_string buf "d;"))
+      st.times;
+    Array.iter
+      (fun c ->
+        Buffer.add_char buf 'c';
+        add_float c.ready;
+        (match c.resident with
+         | None -> Buffer.add_char buf '.'
+         | Some p -> Buffer.add_string buf (string_of_int p));
+        Buffer.add_char buf ';')
+      st.comps;
+    Buffer.contents buf
 end

@@ -66,10 +66,24 @@ module Search : sig
   val current_makespan : snapshot -> float
   (** Maximum finish time among scheduled operations. *)
 
-  val lower_bound : snapshot -> float
+  val tails : Mfb_bioassay.Seq_graph.t -> float array
+  (** Duration-only critical tail of every operation (transport-free,
+      hence admissible).  Depends only on the graph — compute once per
+      search and feed it to {!lower_bound}. *)
+
+  val lower_bound : ?tails:float array -> snapshot -> float
   (** Admissible completion-time bound: current makespan joined with, for
       every unscheduled operation, its earliest conceivable start plus
-      its duration-only critical tail. *)
+      its duration-only critical tail.  [tails] (from {!tails}) skips
+      recomputing the static tail table on every call. *)
+
+  val signature : snapshot -> string
+  (** Canonical encoding of the future-relevant state: per-operation
+      progress, live-fluid production times and removal flags, and every
+      component's (ready, resident) pair.  Equal signatures guarantee
+      bit-identical futures, so a search may discard the snapshot whose
+      accumulated makespan is no better — the dominance rule of
+      {!Exact.schedule}. *)
 
   val to_schedule : snapshot -> Types.t
   (** @raise Invalid_argument when not {!complete}. *)

@@ -1,17 +1,49 @@
 module Search = Engine.Search
+module Telemetry = Mfb_util.Telemetry
 
-type t = { schedule : Types.t; optimal : bool; explored : int }
+type t = {
+  schedule : Types.t;
+  optimal : bool;
+  truncated : bool;
+  explored : int;
+  fuel : int;
+  heuristic_makespan : float;
+}
 
-let schedule ?(node_limit = 200_000) ~tc graph allocation =
+let default_fuel = 200_000
+
+(* Branch-and-bound over the dispatch-order x binding space of the
+   scheduling state machine.  Three ingredients keep small assays
+   tractable and the node-expansion order reproducible:
+
+   - an admissible lower bound from the critical-path relaxation
+     (duration-only tails, computed once per search);
+   - memoized dominance: snapshots with equal {!Search.signature} have
+     bit-identical futures, so a revisit whose accumulated makespan is
+     no better than the best one already expanded is pruned — this
+     collapses the permutations of independent ready operations that
+     reach the same state;
+   - children are expanded best-bound-first with full deterministic
+     tie-breaking (bound, operation id, component id, in-place parent),
+     so the incumbent trajectory — and therefore the returned schedule —
+     is a pure function of (graph, allocation, tc, fuel).
+
+   Fuel is a virtual-tick budget (one tick per expanded node), never
+   wall-clock, so runs are reproducible across hosts and [--jobs]
+   settings. *)
+let schedule ?(fuel = default_fuel) ~tc graph allocation =
+  if fuel < 1 then invalid_arg "Exact.schedule: fuel < 1";
   (* Seed the incumbent with the heuristic so pruning bites immediately
      and the result can never regress below it. *)
   let heuristic = Engine.run ~case1:true ~tc graph allocation in
+  let tails = Search.tails graph in
   let best = ref heuristic in
   let best_makespan = ref heuristic.makespan in
   let explored = ref 0 in
-  let exhausted = ref true in
+  let out_of_fuel = ref false in
+  let memo : (string, float) Hashtbl.t = Hashtbl.create 1024 in
   let rec branch snap =
-    if !explored >= node_limit then exhausted := false
+    if !explored >= fuel then out_of_fuel := true
     else begin
       incr explored;
       if Search.complete snap then begin
@@ -21,15 +53,60 @@ let schedule ?(node_limit = 200_000) ~tc graph allocation =
           best := Search.to_schedule snap
         end
       end
-      else if Search.lower_bound snap < !best_makespan -. 1e-9 then begin
-        let expand op =
-          List.iter
-            (fun choice -> branch (Search.apply snap op choice))
-            (Search.candidates snap op)
+      else if Search.lower_bound ~tails snap < !best_makespan -. 1e-9 then begin
+        let key = Search.signature snap in
+        let makespan = Search.current_makespan snap in
+        let dominated =
+          match Hashtbl.find_opt memo key with
+          | Some seen -> makespan >= seen -. 1e-9
+          | None -> false
         in
-        List.iter expand (Search.ready_ops snap)
+        if dominated then Telemetry.incr ~cat:"schedule" "exact.dominated"
+        else begin
+          Hashtbl.replace memo key makespan;
+          let children =
+            List.concat_map
+              (fun op ->
+                List.map
+                  (fun ((comp, in_place) as choice) ->
+                    let child = Search.apply snap op choice in
+                    ( Search.lower_bound ~tails child,
+                      op, comp,
+                      (match in_place with None -> -1 | Some p -> p),
+                      child ))
+                  (Search.candidates snap op))
+              (Search.ready_ops snap)
+          in
+          let ordered =
+            List.sort
+              (fun (b1, o1, c1, p1, _) (b2, o2, c2, p2, _) ->
+                let cmp = Float.compare b1 b2 in
+                if cmp <> 0 then cmp
+                else
+                  let cmp = compare o1 o2 in
+                  if cmp <> 0 then cmp
+                  else
+                    let cmp = compare c1 c2 in
+                    if cmp <> 0 then cmp else compare p1 p2)
+              children
+          in
+          List.iter
+            (fun (bound, _, _, _, child) ->
+              (* The incumbent may have improved since the child bounds
+                 were computed; re-check before descending. *)
+              if bound < !best_makespan -. 1e-9 then branch child)
+            ordered
+        end
       end
     end
   in
   branch (Search.init ~tc graph allocation);
-  { schedule = !best; optimal = !exhausted; explored = !explored }
+  Telemetry.incr ~cat:"schedule" ~by:!explored "exact.explored";
+  {
+    schedule = !best;
+    optimal = not !out_of_fuel;
+    truncated = !out_of_fuel;
+    explored = !explored;
+    fuel;
+    heuristic_makespan = heuristic.makespan;
+  }

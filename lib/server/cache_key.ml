@@ -90,11 +90,17 @@ let mix_config h (cfg : Mfb_core.Config.t) =
   let h = mix_float h cfg.sa.alpha in
   let h = mix_int h cfg.sa.i_max in
   let h = mix_int h cfg.sa_restarts in
-  mix_int h cfg.seed
+  let h = mix_int h cfg.seed in
+  (* The backend changes the schedule, so a heuristic-cached entry must
+     never answer an exact/portfolio request (and vice versa). *)
+  let h =
+    mix_string h (Mfb_schedule.Portfolio.backend_to_string cfg.backend)
+  in
+  mix_int h cfg.exact_fuel
 
 let make ?(flow = "ours") ~config ~graph
     ~(allocation : Mfb_component.Allocation.t) () =
-  let h = mix_string fnv_offset "mfb-serve-key-v1" in
+  let h = mix_string fnv_offset "mfb-serve-key-v2" in
   let h = mix_string h flow in
   let h = mix_int64 h (graph_fingerprint graph) in
   let h = mix_int h allocation.mixers in

@@ -8,9 +8,11 @@ type overrides = {
   o_seed : int option;
   o_tc : float option;
   o_sa_restarts : int option;
+  o_backend : Mfb_schedule.Portfolio.backend option;
 }
 
-let no_overrides = { o_seed = None; o_tc = None; o_sa_restarts = None }
+let no_overrides =
+  { o_seed = None; o_tc = None; o_sa_restarts = None; o_backend = None }
 
 type request =
   | Submit of {
@@ -64,7 +66,11 @@ let request_to_json = function
          | `Ba -> [ ("flow", Json.String "ba") ])
       @ opt "seed" (fun s -> Json.Int s) overrides.o_seed
       @ opt "tc" (fun t -> Json.Float t) overrides.o_tc
-      @ opt "sa_restarts" (fun r -> Json.Int r) overrides.o_sa_restarts)
+      @ opt "sa_restarts" (fun r -> Json.Int r) overrides.o_sa_restarts
+      @ opt "backend"
+          (fun b ->
+            Json.String (Mfb_schedule.Portfolio.backend_to_string b))
+          overrides.o_backend)
   | Status id ->
     Json.Obj [ ("op", Json.String "status"); ("id", Json.String id) ]
   | Result id ->
@@ -160,6 +166,17 @@ let parse_submit v =
   let* o_seed = opt_int_field "seed" v in
   let* o_tc = opt_float_field "tc" v in
   let* o_sa_restarts = opt_int_field "sa_restarts" v in
+  let* o_backend =
+    match field "backend" v with
+    | None -> Ok None
+    | Some (Json.String s) ->
+      (match Mfb_schedule.Portfolio.backend_of_string s with
+       | Some b -> Ok (Some b)
+       | None ->
+         Error "field \"backend\" must be \"heuristic\", \"exact\" or \
+                \"portfolio\"")
+    | Some _ -> Error "field \"backend\" must be a string"
+  in
   Ok
     (Submit
        {
@@ -168,7 +185,7 @@ let parse_submit v =
          deadline;
          flow;
          spec;
-         overrides = { o_seed; o_tc; o_sa_restarts };
+         overrides = { o_seed; o_tc; o_sa_restarts; o_backend };
        })
 
 let request_of_json v =

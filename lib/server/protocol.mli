@@ -20,8 +20,8 @@
     text (the {!Mfb_bioassay.Assay_file} format with [\n] escapes);
     [priority] (default 0, higher runs first), [deadline] (queue ticks
     the job may wait before being shed; absent = no deadline) and the
-    per-request config overrides [seed] / [tc] / [sa_restarts] are
-    optional.
+    per-request config overrides [seed] / [tc] / [sa_restarts] /
+    [backend] (["heuristic" | "exact" | "portfolio"]) are optional.
 
     Responses repeat the request [id] so scripted clients can correlate;
     every response carries ["ok"] and ["op"].  [result] payloads contain
@@ -41,6 +41,8 @@ type overrides = {
   o_seed : int option;
   o_tc : float option;
   o_sa_restarts : int option;
+  o_backend : Mfb_schedule.Portfolio.backend option;
+      (** scheduling backend for this request; changes the cache key *)
 }
 
 val no_overrides : overrides

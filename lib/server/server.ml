@@ -116,6 +116,11 @@ let apply_overrides (cfg : Mfb_core.Config.t) (o : P.overrides) =
     | None -> cfg
     | Some sa_restarts -> { cfg with sa_restarts }
   in
+  let cfg =
+    match o.o_backend with
+    | None -> cfg
+    | Some backend -> { cfg with backend }
+  in
   match Mfb_core.Config.validate cfg with
   | () -> Ok cfg
   | exception Invalid_argument msg -> Error msg

@@ -57,5 +57,5 @@ counted.
 The worker subcommand itself speaks the protocol one line at a time.
 
   $ printf '{"op":"submit","id":"w0","benchmark":"PCR"}\n{"op":"shutdown"}\n' | ../../bin/dcsa_synth.exe worker --index 0
-  {"ok":true,"op":"result","id":"w0","key":"add01f5a3910b675","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"result","id":"w0","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
   {"ok":true,"op":"shutdown","stats":{"worker":0,"jobs":1}}

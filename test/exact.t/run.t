@@ -1,0 +1,42 @@
+Exact/portfolio golden corpus: `Result.to_json` under `--backend exact`
+and `--backend portfolio` must be byte-exact against the frozen
+*.golden.json files (timing fields stripped — they are the only
+wall-clock-dependent output).  The IVD instance runs with a starved
+fuel budget so the truncated-fallback path is frozen too.
+
+  $ strip() { grep -vE '(cpu|wall)_time_s'; }
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --backend exact --json 2>/dev/null \
+  >   | strip > PCR_exact.json
+  $ cmp PCR_exact.golden.json PCR_exact.json
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --backend portfolio --json 2>/dev/null \
+  >   | strip > PCR_portfolio.json
+  $ cmp PCR_portfolio.golden.json PCR_portfolio.json
+
+  $ ../../bin/dcsa_synth.exe run -b IVD --backend exact --exact-fuel 2000 \
+  >   --json 2>/dev/null | strip > IVD_exact_f2000.json
+  $ cmp IVD_exact_f2000.golden.json IVD_exact_f2000.json
+  $ grep -c '"truncated": true' IVD_exact_f2000.json
+  1
+
+Portfolio determinism: two invocations with the same seed and fuel are
+byte-identical, and the --jobs level never changes the output (the
+virtual-tick first-finisher rule is independent of wall-clock).
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --backend portfolio --json 2>/dev/null \
+  >   | strip > PCR_portfolio_again.json
+  $ cmp PCR_portfolio.json PCR_portfolio_again.json
+
+  $ for j in 1 2 4; do
+  >   ../../bin/dcsa_synth.exe run -b IVD --backend portfolio \
+  >     --exact-fuel 2000 --jobs $j --json 2>/dev/null | strip > "IVD_jobs$j.json"
+  > done
+  $ cmp IVD_jobs1.json IVD_jobs2.json
+  $ cmp IVD_jobs1.json IVD_jobs4.json
+
+The human-readable report surfaces the backend decision line.
+
+  $ ../../bin/dcsa_synth.exe run -b PCR --backend exact 2>/dev/null \
+  >   | grep '^backend'
+  backend exact: selected=exact heuristic=22.20s best=20.20s gap=9.0% optimal (explored 310 of 200000)

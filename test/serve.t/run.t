@@ -14,11 +14,11 @@ computed=1 with one cache hit in the shutdown stats.
   > {"op":"result","id":"r2"}
   > {"op":"shutdown"}
   > EOF
-  {"ok":true,"op":"submit","id":"r1","key":"add01f5a3910b675"}
-  {"ok":true,"op":"result","id":"r1","key":"add01f5a3910b675","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
-  {"ok":true,"op":"submit","id":"r2","key":"add01f5a3910b675"}
-  {"ok":true,"op":"result","id":"r2","key":"add01f5a3910b675","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
-  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":2,"computed":1,"cache":{"capacity":128,"entries":1,"hits":1,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42}}}
+  {"ok":true,"op":"submit","id":"r1","key":"5a1cf9d38af9fd6b"}
+  {"ok":true,"op":"result","id":"r1","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"submit","id":"r2","key":"5a1cf9d38af9fd6b"}
+  {"ok":true,"op":"result","id":"r2","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":2,"computed":1,"cache":{"capacity":128,"entries":1,"hits":1,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000}}}
 
 Inline assays are content-addressed structurally: the same graph spelled
 with different operation ids and line order maps to the same key.
@@ -28,9 +28,9 @@ with different operation ids and line order maps to the same key.
   > {"op":"submit","id":"a2","assay":"assay \"mini\"\nfluid b 1e-6\nfluid a 4e-7\nop 1 mix 5 a\nop 0 heat 4 b\nedge 1 0","alloc":[1,1,0,0]}
   > {"op":"stats"}
   > EOF
-  {"ok":true,"op":"submit","id":"a1","key":"b82b7cd409f970ea"}
-  {"ok":true,"op":"submit","id":"a2","key":"b82b7cd409f970ea"}
-  {"ok":true,"op":"stats","stats":{"tick":0,"submitted":2,"computed":0,"cache":{"capacity":128,"entries":0,"hits":0,"misses":2,"evictions":0},"queue":{"depth":64,"queued":2},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42}}}
+  {"ok":true,"op":"submit","id":"a1","key":"861b6d97128e9082"}
+  {"ok":true,"op":"submit","id":"a2","key":"861b6d97128e9082"}
+  {"ok":true,"op":"stats","stats":{"tick":0,"submitted":2,"computed":0,"cache":{"capacity":128,"entries":0,"hits":0,"misses":2,"evictions":0},"queue":{"depth":64,"queued":2},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000}}}
 
 Admission control: with --queue-depth 1 the second submission is
 refused; a higher-priority third displaces the queued job, whose result
@@ -45,12 +45,12 @@ dispatching until a result is demanded.)
   > {"op":"result","id":"j1"}
   > {"op":"result","id":"j3"}
   > EOF
-  {"ok":true,"op":"submit","id":"j1","key":"a3f9ffccf96395be"}
+  {"ok":true,"op":"submit","id":"j1","key":"b4a9f0807e9fbe0a"}
   {"ok":false,"op":"submit","id":"j2","reason":"queue full (depth 1) and priority 0 does not outrank the weakest queued job"}
-  {"ok":true,"op":"submit","id":"j3","key":"660471bae385017c"}
+  {"ok":true,"op":"submit","id":"j3","key":"26e6b437d75ea7d4"}
   {"ok":true,"op":"status","id":"j1","state":"shed"}
   {"ok":false,"op":"result","id":"j1","reason":"displaced by higher-priority submission \"j3\""}
-  {"ok":true,"op":"result","id":"j3","key":"660471bae385017c","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+  {"ok":true,"op":"result","id":"j3","key":"26e6b437d75ea7d4","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
 
 Malformed input never kills the server:
 
@@ -102,7 +102,7 @@ request is served normally.
   $ grep '"op":"error"' oversized.out
   {"ok":false,"op":"error","message":"input line too long: 1200000 bytes exceeds the 1048576-byte limit"}
   $ grep -o '"id":"ok","key":"[0-9a-f]*"' oversized.out
-  "id":"ok","key":"add01f5a3910b675"
+  "id":"ok","key":"5a1cf9d38af9fd6b"
 
 Shutdown drains the queue: jobs still waiting (batch 50 prevents any
 dispatch) are computed before the final stats snapshot, which therefore

@@ -214,6 +214,31 @@ let test_ablations_run () =
         (Check.is_legal ~tc:fast_cfg.tc r.schedule))
     variants
 
+let test_flow_exact_truncation_surfaces () =
+  (* A starved fuel budget must still produce a legal schedule (the
+     heuristic incumbent), flag the truncation in the JSON result, and
+     never come out worse than the heuristic it started from. *)
+  let inst = Suite.ivd () in
+  let config =
+    { fast_cfg with backend = Mfb_schedule.Portfolio.Exact; exact_fuel = 100 }
+  in
+  let r = Flow.run ~config inst.graph inst.allocation in
+  (match r.decision with
+  | None -> Alcotest.fail "exact backend must record a decision"
+  | Some d ->
+    Alcotest.(check bool) "truncated" true d.truncated;
+    Alcotest.(check bool) "not optimal" false d.optimal;
+    Alcotest.(check int) "fuel echoed" 100 d.fuel;
+    Alcotest.(check bool) "never worse than heuristic" true
+      (d.makespan <= d.heuristic_makespan +. 1e-9));
+  Alcotest.(check bool) "legal schedule" true
+    (Check.is_legal ~tc:config.tc r.schedule);
+  let json = Mfb_util.Json.to_string (Result_.to_json r) in
+  Alcotest.(check bool) "truncated flag in json" true
+    (Testkit.contains json "\"truncated\":true");
+  Alcotest.(check bool) "backend section in json" true
+    (Testkit.contains json "\"backend\"")
+
 (* --- Reporting --- *)
 
 let test_table1_render () =
@@ -256,6 +281,21 @@ let test_timing_table_render () =
       Alcotest.(check bool) (needle ^ " present") true
         (Testkit.contains s needle))
     [ "schedule"; "place"; "route"; "total"; ours.benchmark ]
+
+let test_heuristic_gap_render () =
+  let pcr = Suite.pcr () in
+  let exact_cfg = { fast_cfg with backend = Mfb_schedule.Portfolio.Exact } in
+  let r = Flow.run ~config:exact_cfg pcr.graph pcr.allocation in
+  let s = Report.heuristic_gap [ r ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Testkit.contains s needle))
+    [ "PCR"; "Heuristic (s)"; "Exact (s)"; "optimal"; "Average (optimal only)" ];
+  (* Heuristic-only results carry no decision and are skipped. *)
+  let heuristic = Flow.run ~config:fast_cfg pcr.graph pcr.allocation in
+  Alcotest.(check bool) "heuristic rows skipped" false
+    (Testkit.contains (Report.heuristic_gap [ heuristic ]) "PCR")
 
 let test_metrics_table () =
   Alcotest.(check bool) "empty input renders header" true
@@ -554,6 +594,8 @@ let suites =
       [
         Alcotest.test_case "flow deterministic" `Quick test_flow_deterministic;
         Alcotest.test_case "ablations run" `Quick test_ablations_run;
+        Alcotest.test_case "exact truncation surfaces" `Quick
+          test_flow_exact_truncation_surfaces;
       ] );
     ( "core.fuzz",
       [ prop_whole_flow_invariants; prop_whole_flow_baseline_invariants ] );
@@ -580,6 +622,8 @@ let suites =
           test_timing_table_empty;
         Alcotest.test_case "timing table render" `Quick
           test_timing_table_render;
+        Alcotest.test_case "heuristic gap table" `Quick
+          test_heuristic_gap_render;
         Alcotest.test_case "metrics table" `Quick test_metrics_table;
         Alcotest.test_case "result json" `Quick test_result_json;
         Alcotest.test_case "layout render" `Quick test_layout_render;

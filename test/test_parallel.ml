@@ -160,6 +160,53 @@ let prop_flow_metrics_jobs_equivalent =
       let (m1, j1) = key 1 and (m3, j3) = key 3 in
       m1 <> [] && m1 = m3 && j1 = j3)
 
+(* --- Portfolio backend: Result.to_json is jobs-invariant --- *)
+
+(* Small assays only — the exact arm is exponential. *)
+let small_instance_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n seed ->
+        let g =
+          Mfb_bioassay.Synthetic.generate ~name:"portfolio-prop"
+            { Mfb_bioassay.Synthetic.default_params with
+              n_ops = n + 4;
+              kind_weights = [| 3; 2; 1; 1 |];
+              seed }
+        in
+        let alloc =
+          Allocation.make ~mixers:2 ~heaters:2 ~filters:1 ~detectors:1
+        in
+        (g, alloc))
+      (int_bound 8) (int_bound 10_000))
+
+let prop_portfolio_flow_jobs_equivalent =
+  qtest ~count:10
+    "Flow.run backend=portfolio: Result.to_json jobs=1 == jobs=3"
+    QCheck2.Gen.(pair small_instance_gen (int_bound 1000))
+    (fun ((g, alloc), seed) ->
+      let config =
+        { Mfb_core.Config.default with
+          seed;
+          backend = Mfb_schedule.Portfolio.Portfolio;
+          exact_fuel = 20_000 }
+      in
+      let key jobs =
+        let r = Mfb_core.Flow.run ~config ~jobs g alloc in
+        let json =
+          match Mfb_core.Result.to_json r with
+          | Mfb_util.Json.Obj fields ->
+            Mfb_util.Json.Obj
+              (List.filter
+                 (fun (k, _) -> k <> "cpu_time_s" && k <> "wall_time_s")
+                 fields)
+          | other -> other
+        in
+        (r.decision, Mfb_util.Json.to_string json)
+      in
+      let d1, j1 = key 1 and d3, j3 = key 3 in
+      d1 <> None && d1 = d3 && j1 = j3)
+
 let prop_annealer_temperature_steps_invariant =
   qtest ~count:25 "Annealer temperature_steps: pure function of params"
     QCheck2.Gen.(pair instance_gen (int_bound 1000))
@@ -250,6 +297,7 @@ let suites =
         prop_parallel_schedule_legal;
         prop_flow_jobs_equivalent;
         prop_flow_metrics_jobs_equivalent;
+        prop_portfolio_flow_jobs_equivalent;
         prop_annealer_temperature_steps_invariant;
         prop_astar_stats_deterministic;
         Alcotest.test_case "suite pairs across jobs" `Quick

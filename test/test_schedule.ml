@@ -521,8 +521,11 @@ let test_exact_schedules_legal () =
 let test_exact_node_limit () =
   let g = Mfb_bioassay.Benchmarks.fig2_example () in
   let alloc = Allocation.of_vector (3, 1, 0, 1) in
-  let bounded = Exact.schedule ~node_limit:50 ~tc g alloc in
-  Alcotest.(check bool) "limit marks non-optimal" false bounded.optimal;
+  let bounded = Exact.schedule ~fuel:50 ~tc g alloc in
+  Alcotest.(check bool) "fuel exhaustion marks non-optimal" false
+    bounded.optimal;
+  Alcotest.(check bool) "and sets the truncated flag" true bounded.truncated;
+  Alcotest.(check int) "explored stops at the budget" 50 bounded.explored;
   Alcotest.(check bool) "still returns the heuristic incumbent" true
     (bounded.schedule.makespan
     <= (Dcsa.schedule ~tc g alloc).makespan +. 1e-9)
@@ -556,10 +559,191 @@ let prop_exact_bounds_heuristic =
             Allocation.make ~mixers:2 ~heaters:1 ~filters:1 ~detectors:1 ))
         (int_bound 500))
     (fun (g, alloc) ->
-      let exact = Exact.schedule ~node_limit:50_000 ~tc g alloc in
+      let exact = Exact.schedule ~fuel:50_000 ~tc g alloc in
       let heuristic = Dcsa.schedule ~tc g alloc in
       Check.is_legal ~tc exact.schedule
       && exact.schedule.makespan <= heuristic.makespan +. 1e-9)
+
+(* Satellite oracle property: on seeded synthetic assays of up to 12
+   operations the exact result is legal and never worse than the
+   heuristic, whether or not the fuel budget sufficed. *)
+let prop_exact_oracle_up_to_12_ops =
+  qtest ~count:15 "exact <= heuristic and legal on assays up to 12 ops"
+    QCheck2.Gen.(
+      map2
+        (fun n seed ->
+          ( Mfb_bioassay.Synthetic.generate ~name:"oracle"
+              { Mfb_bioassay.Synthetic.default_params with
+                n_ops = 2 + n;
+                kind_weights = [| 3; 2; 1; 1 |];
+                seed },
+            Allocation.make ~mixers:2 ~heaters:2 ~filters:1 ~detectors:1 ))
+        (int_bound 10) (int_bound 1000))
+    (fun (g, alloc) ->
+      let exact = Exact.schedule ~fuel:30_000 ~tc g alloc in
+      let heuristic = Dcsa.schedule ~tc g alloc in
+      Check.validate ~tc exact.schedule = []
+      && exact.schedule.makespan <= heuristic.makespan +. 1e-9
+      && exact.heuristic_makespan = heuristic.makespan
+      && exact.optimal <> exact.truncated)
+
+(* --- Branch-and-bound edge cases --- *)
+
+let test_exact_empty_assay () =
+  (* An empty assay is rejected at graph construction, so the exact
+     backend can never see one; what it must share with {!Engine.run} is
+     the validation boundary for the degenerate inputs that do parse. *)
+  Alcotest.check_raises "empty assay unconstructible"
+    (Invalid_argument "Seq_graph.create: no operations") (fun () ->
+      ignore (Seq_graph.create ~name:"empty" ~ops:[] ~edges:[]));
+  let g =
+    Seq_graph.create ~name:"one" ~ops:[ mix ~id:0 easy ] ~edges:[]
+  in
+  Alcotest.check_raises "uncovered kind rejected like Engine.run"
+    (Invalid_argument "Engine.run: allocation does not cover all operation \
+                       kinds") (fun () ->
+      ignore (Exact.schedule ~tc g (Allocation.of_vector (0, 1, 0, 0))));
+  Alcotest.check_raises "non-positive tc rejected like Engine.run"
+    (Invalid_argument "Engine.run: tc must be positive") (fun () ->
+      ignore (Exact.schedule ~tc:0. g (Allocation.of_vector (1, 0, 0, 0))))
+
+let test_exact_single_op () =
+  let g =
+    Seq_graph.create ~name:"single"
+      ~ops:[ mix ~id:0 ~duration:4. easy ]
+      ~edges:[]
+  in
+  let e = Exact.schedule ~tc g (Allocation.of_vector (1, 0, 0, 0)) in
+  Alcotest.(check (float 1e-9)) "makespan = duration" 4. e.schedule.makespan;
+  Alcotest.(check bool) "optimal" true e.optimal;
+  check_legal "single op" e.schedule
+
+let test_exact_independent_ops_bound_tight () =
+  (* Three independent operations on three mixers: the critical-path
+     bound at the root already equals the heuristic makespan, so the
+     root is pruned without expanding a single child. *)
+  let g =
+    Seq_graph.create ~name:"independent"
+      ~ops:
+        [
+          mix ~id:0 ~duration:3. easy;
+          mix ~id:1 ~duration:4. easy;
+          mix ~id:2 ~duration:5. easy;
+        ]
+      ~edges:[]
+  in
+  let alloc = Allocation.of_vector (3, 0, 0, 0) in
+  let e = Exact.schedule ~tc g alloc in
+  Alcotest.(check (float 1e-9)) "makespan = longest duration" 5.
+    e.schedule.makespan;
+  Alcotest.(check bool) "optimal" true e.optimal;
+  Alcotest.(check int) "bound tight at the root" 1 e.explored;
+  let snap = Search.init ~tc g alloc in
+  Alcotest.(check (float 1e-9)) "root lower bound is exact" 5.
+    (Search.lower_bound snap)
+
+let test_exact_fuel_exhaustion_keeps_incumbent () =
+  let g = Mfb_bioassay.Benchmarks.fig2_example () in
+  let alloc = Allocation.of_vector (3, 1, 0, 1) in
+  let heuristic = Dcsa.schedule ~tc g alloc in
+  let e = Exact.schedule ~fuel:1 ~tc g alloc in
+  Alcotest.(check bool) "truncated" true e.truncated;
+  Alcotest.(check bool) "not optimal" false e.optimal;
+  Alcotest.(check (float 1e-9)) "incumbent is the heuristic seed"
+    heuristic.makespan e.schedule.makespan;
+  check_legal "fuel-starved incumbent" e.schedule;
+  Alcotest.check_raises "fuel < 1 rejected"
+    (Invalid_argument "Exact.schedule: fuel < 1") (fun () ->
+      ignore (Exact.schedule ~fuel:0 ~tc g alloc))
+
+(* --- Portfolio runner --- *)
+
+module Portfolio = Mfb_schedule.Portfolio
+module Export = Mfb_schedule.Export
+
+let portfolio_instances () =
+  small_instances ()
+  @ [
+      ( "fig2",
+        Mfb_bioassay.Benchmarks.fig2_example (),
+        Allocation.of_vector (3, 1, 0, 1) );
+    ]
+
+let test_portfolio_bit_identical_to_selected () =
+  List.iter
+    (fun (name, g, alloc) ->
+      List.iter
+        (fun fuel ->
+          let sched, d = Portfolio.race ~fuel ~tc g alloc in
+          let reference =
+            match d.selected with
+            | Portfolio.Heuristic_arm -> Dcsa.schedule ~tc g alloc
+            | Portfolio.Exact_arm ->
+              (Exact.schedule ~fuel ~tc g alloc).Exact.schedule
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s fuel=%d matches %s arm byte for byte" name
+               fuel
+               (Portfolio.arm_to_string d.selected))
+            (Export.to_string reference)
+            (Export.to_string sched);
+          Alcotest.(check (float 0.)) (name ^ " decision echoes makespan")
+            sched.Types.makespan d.makespan)
+        [ 1; 100; 50_000 ])
+    (portfolio_instances ())
+
+let test_portfolio_deterministic_across_jobs () =
+  List.iter
+    (fun (name, g, alloc) ->
+      let key jobs =
+        let sched, d = Portfolio.race ~fuel:5_000 ~jobs ~tc g alloc in
+        (Export.to_string sched, d)
+      in
+      let s1, d1 = key 1 in
+      let s1', d1' = key 1 in
+      let s2, d2 = key 2 in
+      Alcotest.(check string) (name ^ " rerun is byte-identical") s1 s1';
+      Alcotest.(check bool) (name ^ " rerun same decision") true (d1 = d1');
+      Alcotest.(check string) (name ^ " jobs=2 == jobs=1") s1 s2;
+      Alcotest.(check bool) (name ^ " jobs=2 same decision") true (d1 = d2))
+    (portfolio_instances ())
+
+let test_portfolio_never_worse_than_either_arm () =
+  List.iter
+    (fun (name, g, alloc) ->
+      let sched, d = Portfolio.race ~fuel:20_000 ~tc g alloc in
+      let heuristic = Dcsa.schedule ~tc g alloc in
+      Alcotest.(check bool) (name ^ " <= heuristic") true
+        (sched.Types.makespan <= heuristic.makespan +. 1e-9);
+      Alcotest.(check (float 0.)) (name ^ " heuristic makespan recorded")
+        heuristic.makespan d.heuristic_makespan;
+      Alcotest.(check bool) (name ^ " gap non-negative") true
+        (Portfolio.gap_percent d >= 0.);
+      check_legal (name ^ " portfolio") sched)
+    (portfolio_instances ())
+
+let test_portfolio_exact_wrapper () =
+  let name, g, alloc = List.hd (portfolio_instances ()) in
+  let sched, d = Portfolio.exact ~tc g alloc in
+  let e = Exact.schedule ~tc g alloc in
+  Alcotest.(check string) (name ^ " wrapper = Exact.schedule")
+    (Export.to_string e.Exact.schedule)
+    (Export.to_string sched);
+  Alcotest.(check bool) "backend tagged exact" true (d.backend = Portfolio.Exact);
+  Alcotest.(check bool) "selected arm is exact" true
+    (d.selected = Portfolio.Exact_arm);
+  Alcotest.(check int) "ticks = explored" d.explored d.ticks
+
+let test_backend_string_roundtrip () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Portfolio.backend_to_string b ^ " roundtrips")
+        true
+        (Portfolio.backend_of_string (Portfolio.backend_to_string b) = Some b))
+    Portfolio.all_backends;
+  Alcotest.(check bool) "unknown rejected" true
+    (Portfolio.backend_of_string "sat" = None)
 
 (* --- Multi-start randomized list scheduling --- *)
 
@@ -781,6 +965,25 @@ let suites =
         Alcotest.test_case "node limit" `Quick test_exact_node_limit;
         Alcotest.test_case "search api" `Quick test_search_api;
         prop_exact_bounds_heuristic;
+        prop_exact_oracle_up_to_12_ops;
+        Alcotest.test_case "empty assay" `Quick test_exact_empty_assay;
+        Alcotest.test_case "single op" `Quick test_exact_single_op;
+        Alcotest.test_case "independent ops: bound tight at root" `Quick
+          test_exact_independent_ops_bound_tight;
+        Alcotest.test_case "fuel exhaustion keeps incumbent" `Quick
+          test_exact_fuel_exhaustion_keeps_incumbent;
+      ] );
+    ( "schedule.portfolio",
+      [
+        Alcotest.test_case "bit-identical to selected backend" `Quick
+          test_portfolio_bit_identical_to_selected;
+        Alcotest.test_case "deterministic across jobs and reruns" `Quick
+          test_portfolio_deterministic_across_jobs;
+        Alcotest.test_case "never worse than either arm" `Quick
+          test_portfolio_never_worse_than_either_arm;
+        Alcotest.test_case "exact wrapper" `Quick test_portfolio_exact_wrapper;
+        Alcotest.test_case "backend string roundtrip" `Quick
+          test_backend_string_roundtrip;
       ] );
     ( "schedule.multi_start",
       [

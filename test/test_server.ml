@@ -148,7 +148,26 @@ let test_key_config_sensitivity () =
     {
       Config.default with
       sa = { Config.default.sa with Mfb_place.Annealer.i_max = 151 };
-    }
+    };
+  differs "backend" { Config.default with backend = Mfb_schedule.Portfolio.Exact };
+  differs "exact_fuel" { Config.default with exact_fuel = 1_000 }
+
+let test_key_backend_sensitivity () =
+  (* Regression for the backend-blind key: every backend must key its
+     own cache slot, or an exact request would replay a heuristic
+     result. *)
+  let key backend = key_of ~config:{ Config.default with backend } base_assay in
+  let all = List.map key Mfb_schedule.Portfolio.all_backends in
+  List.iteri
+    (fun i ki ->
+      List.iteri
+        (fun j kj ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "backend %d vs %d" i j)
+              false (Cache_key.equal ki kj))
+        all)
+    all
 
 let test_key_hex_stable () =
   let k = key_of base_assay in
@@ -236,7 +255,18 @@ let sample_requests =
         deadline = Some 3;
         flow = `Ba;
         spec = P.Assay { text = base_assay; alloc = Some (2, 1, 0, 1) };
-        overrides = { P.o_seed = Some 9; o_tc = Some 1.5; o_sa_restarts = Some 2 };
+        overrides = { P.no_overrides with o_seed = Some 9; o_tc = Some 1.5; o_sa_restarts = Some 2 };
+      };
+    P.Submit
+      {
+        id = "r3";
+        priority = 0;
+        deadline = None;
+        flow = `Ours;
+        spec = P.Benchmark "PCR";
+        overrides =
+          { P.no_overrides with
+            o_backend = Some Mfb_schedule.Portfolio.Portfolio };
       };
     P.Status "r1";
     P.Result "r2";
@@ -352,6 +382,58 @@ let test_server_cache_hit_identical () =
       (get [ "computed" ] = Some (Json.Int 1));
     Alcotest.(check bool) "one hit" true
       (get [ "cache"; "hits" ] = Some (Json.Int 1))
+  | r -> Alcotest.failf "stats: %s" (P.response_to_line r)
+
+let test_server_backend_cache_not_shared () =
+  (* Regression: before the backend reached Cache_key, an exact request
+     structurally identical to a cached heuristic one replayed the
+     heuristic's result.  Now it must miss, recompute, and answer with
+     the (better) exact schedule. *)
+  let s = server () in
+  let c = Client.in_process s in
+  let submit_backend ~id o_backend =
+    P.Submit
+      {
+        id;
+        priority = 0;
+        deadline = None;
+        flow = `Ours;
+        spec = pcr;
+        overrides = { P.no_overrides with o_backend };
+      }
+  in
+  let key id req =
+    match call_exn c req with
+    | P.Submitted { key; _ } -> key
+    | r -> Alcotest.failf "submit %s: %s" id (P.response_to_line r)
+  in
+  let k_heur = key "h" (submit_backend ~id:"h" None) in
+  let k_exact =
+    key "e" (submit_backend ~id:"e" (Some Mfb_schedule.Portfolio.Exact))
+  in
+  Alcotest.(check bool) "distinct cache keys" false
+    (String.equal k_heur k_exact);
+  let result id =
+    match call_exn c (P.Result id) with
+    | P.Job_result { result; _ } -> Json.to_string result
+    | r -> Alcotest.failf "result %s: %s" id (P.response_to_line r)
+  in
+  let r_heur = result "h" in
+  let r_exact = result "e" in
+  Alcotest.(check bool) "exact payload is not the cached heuristic one"
+    false
+    (String.equal r_heur r_exact);
+  match call_exn c P.Stats with
+  | P.Stats_reply stats ->
+    let get path =
+      List.fold_left
+        (fun j k -> Option.bind j (Json.member k))
+        (Some stats) path
+    in
+    Alcotest.(check bool) "both requests computed" true
+      (get [ "computed" ] = Some (Json.Int 2));
+    Alcotest.(check bool) "no cross-backend cache hit" true
+      (get [ "cache"; "hits" ] = Some (Json.Int 0))
   | r -> Alcotest.failf "stats: %s" (P.response_to_line r)
 
 let test_server_handle_line_hygiene () =
@@ -650,6 +732,8 @@ let suites =
         Alcotest.test_case "config sensitivity" `Quick
           test_key_config_sensitivity;
         Alcotest.test_case "hex form" `Quick test_key_hex_stable;
+        Alcotest.test_case "backend sensitivity" `Quick
+          test_key_backend_sensitivity;
       ] );
     ( "server.job_queue",
       [
@@ -675,6 +759,8 @@ let suites =
       [
         Alcotest.test_case "cache hit is byte-identical" `Quick
           test_server_cache_hit_identical;
+        Alcotest.test_case "backend keys its own cache slot" `Quick
+          test_server_backend_cache_not_shared;
         Alcotest.test_case "line hygiene" `Quick test_server_handle_line_hygiene;
         Alcotest.test_case "rejections" `Quick test_server_rejections;
         Alcotest.test_case "admission and displacement" `Quick
