@@ -79,6 +79,7 @@ let submit_of ~id ~bench ~job_seed =
       spec = P.Benchmark bench;
       overrides =
         { P.no_overrides with o_seed = Some job_seed };
+      trace = None;
     }
 
 (* Replay the script: submit everything (batches of [batch] dispatch as

@@ -57,16 +57,25 @@ let submit_of ~id ~job_seed =
       spec = P.Benchmark "PCR";
       overrides =
         { P.no_overrides with o_seed = Some job_seed };
+      trace = None;
     }
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
 (* Replay the script: submit + result per entry, recording per-request
-   latency.  Returns (elapsed_s, latencies_ms, payloads, stats). *)
+   latency both client-side (gettimeofday around the round trip) and
+   server-side (the wall-clock latency histogram).  Returns
+   (elapsed_s, latencies_ms, payloads, stats, server_latency). *)
 let replay ~cache_capacity =
   let server =
     Server.create
-      { Server.default_config with jobs; cache_capacity; queue_depth = 64 }
+      {
+        Server.default_config with
+        jobs;
+        cache_capacity;
+        queue_depth = 64;
+        clock = `Wall;
+      }
   in
   let client = Client.in_process server in
   let latencies = Array.make requests 0.0 in
@@ -91,7 +100,12 @@ let replay ~cache_capacity =
     script;
   let elapsed = Unix.gettimeofday () -. t0 in
   let stats = Server.stats_json server in
-  (elapsed, latencies, List.rev !payloads, stats)
+  let hist = Server.latency_histogram server in
+  if Mfb_util.Histogram.count hist <> requests then
+    fail "server latency histogram recorded %d of %d requests"
+      (Mfb_util.Histogram.count hist) requests;
+  (elapsed, latencies, List.rev !payloads, stats,
+   Mfb_util.Histogram.snapshot_json hist)
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -103,7 +117,7 @@ let rec int_at path json =
   | k :: rest ->
     (match Json.member k json with Some j -> int_at rest j | None -> 0)
 
-let summary name (elapsed, latencies, _payloads, stats) =
+let summary name (elapsed, latencies, _payloads, stats, server_latency) =
   let sorted = Array.copy latencies in
   Array.sort compare sorted;
   let hits = int_at [ "cache"; "hits" ] stats in
@@ -113,7 +127,10 @@ let summary name (elapsed, latencies, _payloads, stats) =
     else float_of_int hits /. float_of_int (hits + misses)
   in
   let throughput = float_of_int requests /. elapsed in
-  let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+  let p50 = percentile sorted 0.50
+  and p95 = percentile sorted 0.95
+  and p99 = percentile sorted 0.99
+  and lmax = sorted.(Array.length sorted - 1) in
   let computed = int_at [ "computed" ] stats in
   let shed =
     int_at [ "shed"; "deadline" ] stats + int_at [ "shed"; "displaced" ] stats
@@ -121,8 +138,9 @@ let summary name (elapsed, latencies, _payloads, stats) =
   let rejected = int_at [ "rejected" ] stats in
   Printf.printf
     "%-10s %6.1f req/s   hit rate %5.1f%%   p50 %6.2f ms   p95 %6.2f ms   \
-     computed %3d   shed %d   rejected %d\n"
-    name throughput (100.0 *. hit_rate) p50 p95 computed shed rejected;
+     p99 %6.2f ms   max %6.2f ms   computed %3d   shed %d   rejected %d\n"
+    name throughput (100.0 *. hit_rate) p50 p95 p99 lmax computed shed
+    rejected;
   Json.Obj
     [
       ("elapsed_s", Json.Float elapsed);
@@ -130,9 +148,15 @@ let summary name (elapsed, latencies, _payloads, stats) =
       ("hit_rate", Json.Float hit_rate);
       ("p50_ms", Json.Float p50);
       ("p95_ms", Json.Float p95);
+      ("p99_ms", Json.Float p99);
+      ("max_ms", Json.Float lmax);
       ("computed", Json.Int computed);
       ("shed", Json.Int shed);
       ("rejected", Json.Int rejected);
+      (* Server-side view of the same distribution, from the rolling
+         log-bucketed histogram — cross-checks the client percentiles
+         (bucket resolution ~19%, so expect agreement, not equality). *)
+      ("server_latency", server_latency);
     ]
 
 let () =
@@ -145,7 +169,7 @@ let () =
   let nocache_run = replay ~cache_capacity:0 in
   let cached = summary "cached" cached_run in
   let nocache = summary "no-cache" nocache_run in
-  let (ce, _, cp, _) = cached_run and (ne, _, np, _) = nocache_run in
+  let (ce, _, cp, _, _) = cached_run and (ne, _, np, _, _) = nocache_run in
   if cp <> np then fail "cache transparency violated: payloads differ";
   Printf.printf "\ncache transparency: all %d payloads byte-identical\n"
     requests;

@@ -22,10 +22,10 @@ let verbose_arg =
 
 (* Telemetry session around one command: a sink is installed whenever
    any observability output is requested ([-v] included, so span
-   open/close reach the debug log); the Chrome trace is written after
-   the command body finishes. *)
-let with_telemetry ~verbose ~trace ~metrics f =
-  if not (verbose || metrics || trace <> None) then f ()
+   open/close reach the debug log); the Chrome trace and the folded
+   flamegraph stacks are written after the command body finishes. *)
+let with_telemetry ~verbose ~trace ?folded ~metrics f =
+  if not (verbose || metrics || trace <> None || folded <> None) then f ()
   else begin
     let sink = Telemetry.make_sink () in
     Telemetry.install sink;
@@ -44,6 +44,12 @@ let with_telemetry ~verbose ~trace ~metrics f =
        Out_channel.with_open_text path (fun oc ->
            Mfb_util.Json.to_channel ~indent:1 oc
              (Telemetry.to_chrome_json sink));
+       Printf.eprintf "wrote %s\n" path
+     | None -> ());
+    (match folded with
+     | Some path ->
+       Out_channel.with_open_text path (fun oc ->
+           output_string oc (Telemetry.to_folded sink));
        Printf.eprintf "wrote %s\n" path
      | None -> ());
     v
@@ -210,6 +216,14 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let folded_arg =
+  let doc =
+    "Record telemetry and write folded flamegraph stacks to $(docv) \
+     (one 'stack value' line per distinct span stack; feed to \
+     flamegraph.pl or speedscope)."
+  in
+  Arg.(value & opt (some string) None & info [ "folded" ] ~doc ~docv:"FILE")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -289,7 +303,8 @@ let list_cmd =
 
 let run_cmd =
   let action verbose benchmark input alloc flow tc seed sa_restarts backend
-      exact_fuel jobs layout schedule gantt json svg trace metrics timing =
+      exact_fuel jobs layout schedule gantt json svg trace folded metrics
+      timing =
     setup_logs verbose;
     if flow = `Ba && backend <> Mfb_schedule.Portfolio.Heuristic then
       `Error (false, "--backend exact/portfolio replaces the DCSA \
@@ -299,7 +314,7 @@ let run_cmd =
       | Error msg -> `Error (false, msg)
       | Ok inst ->
         let config = config_of ~sa_restarts ~backend ~exact_fuel tc seed in
-        with_telemetry ~verbose ~trace ~metrics (fun () ->
+        with_telemetry ~verbose ~trace ?folded ~metrics (fun () ->
             print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
               (run_one ~jobs ~config ~flow inst));
         `Ok ()
@@ -315,7 +330,7 @@ let run_cmd =
        $ flow_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg
        $ exact_fuel_arg $ jobs_arg
        $ layout_arg $ schedule_arg $ gantt_arg $ json_arg $ svg_arg
-       $ trace_arg $ metrics_arg $ timing_arg))
+       $ trace_arg $ folded_arg $ metrics_arg $ timing_arg))
 
 (* --- compare --- *)
 
@@ -387,7 +402,7 @@ let synth_cmd =
     Arg.(value & opt int 1 & info [ "s"; "graph-seed" ] ~doc:"Generator seed.")
   in
   let action verbose n_ops gseed tc seed sa_restarts backend exact_fuel jobs
-      layout schedule gantt json svg trace metrics timing =
+      layout schedule gantt json svg trace folded metrics timing =
     setup_logs verbose;
     if n_ops < 2 then `Error (false, "need at least 2 operations")
     else begin
@@ -406,7 +421,7 @@ let synth_cmd =
           ~filters:1 ~detectors:1
       in
       let config = config_of ~sa_restarts ~backend ~exact_fuel tc seed in
-      with_telemetry ~verbose ~trace ~metrics (fun () ->
+      with_telemetry ~verbose ~trace ?folded ~metrics (fun () ->
           print_result ~metrics ~timing ~layout ~schedule ~gantt ~json ~svg
             (Mfb_core.Flow.run ~config ~jobs graph allocation));
       `Ok ()
@@ -420,8 +435,8 @@ let synth_cmd =
         (const action $ verbose_arg $ n_ops_arg $ gseed_arg $ tc_arg
        $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg
        $ jobs_arg $ layout_arg $ schedule_arg
-       $ gantt_arg $ json_arg $ svg_arg $ trace_arg $ metrics_arg
-       $ timing_arg))
+       $ gantt_arg $ json_arg $ svg_arg $ trace_arg $ folded_arg
+       $ metrics_arg $ timing_arg))
 
 (* --- explore (architectural synthesis) --- *)
 
@@ -570,73 +585,230 @@ let control_cmd =
           figures.")
     Term.(ret (const action $ benchmark_arg $ tc_arg $ seed_arg))
 
-(* --- trace (validate / summarise a Chrome trace_event file) --- *)
+(* --- trace (validate / summarise observability artifacts) --- *)
+
+let validate_chrome path contents =
+  let module J = Mfb_util.Json in
+  match J.of_string contents with
+  | Error e -> `Error (false, Printf.sprintf "%s: invalid JSON (%s)" path e)
+  | Ok doc ->
+    (match J.member "traceEvents" doc with
+     | Some (J.List events) ->
+       let spans = ref 0 and samples = ref 0 and instants = ref 0 in
+       let meta = ref 0 and bad = ref 0 in
+       let tids = Hashtbl.create 16 and cats = Hashtbl.create 16 in
+       List.iter
+         (fun ev ->
+           match J.member "ph" ev, J.member "name" ev with
+           | Some (J.String ph), Some (J.String _) ->
+             (match J.member "tid" ev with
+              | Some (J.Int tid) -> Hashtbl.replace tids tid ()
+              | _ -> ());
+             (match J.member "cat" ev with
+              | Some (J.String c) -> Hashtbl.replace cats c ()
+              | _ -> ());
+             (match ph with
+              | "X" ->
+                (* Complete events must carry ts and dur. *)
+                (match J.member "ts" ev, J.member "dur" ev with
+                 | Some _, Some _ -> incr spans
+                 | _ -> incr bad)
+              | "C" -> incr samples
+              | "i" -> incr instants
+              | "M" -> incr meta
+              | _ -> incr bad)
+           | _ -> incr bad)
+         events;
+       if !bad > 0 then
+         `Error
+           (false,
+            Printf.sprintf "%s: %d malformed trace event(s)" path !bad)
+       else begin
+         let sorted tbl =
+           Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+           |> List.sort compare
+         in
+         Printf.printf
+           "valid Chrome trace: %d span(s), %d counter sample(s), %d \
+            instant(s) on %d track(s)\n"
+           !spans !samples !instants
+           (Hashtbl.length tids);
+         Printf.printf "categories: %s\n"
+           (String.concat ", " (sorted cats));
+         `Ok ()
+       end
+     | Some _ -> `Error (false, path ^ ": traceEvents is not an array")
+     | None -> `Error (false, path ^ ": no traceEvents array"))
+
+let nonempty_lines contents =
+  String.split_on_char '\n' contents
+  |> List.mapi (fun i l -> (i + 1, l))
+  |> List.filter (fun (_, l) -> String.trim l <> "")
+
+(* Folded stacks: every line is "stack;frames value" with a positive
+   integer value and no empty frame. *)
+let validate_folded path contents =
+  let errors = ref [] and stacks = ref 0 and total = ref 0 in
+  List.iter
+    (fun (ln, line) ->
+      let err msg =
+        errors := Printf.sprintf "%s:%d: %s" path ln msg :: !errors
+      in
+      match String.rindex_opt line ' ' with
+      | None -> err "expected 'stack value' (no space found)"
+      | Some i ->
+        let stack = String.sub line 0 i in
+        let value = String.sub line (i + 1) (String.length line - i - 1) in
+        (match int_of_string_opt value with
+         | None -> err (Printf.sprintf "value %S is not an integer" value)
+         | Some v when v < 1 -> err "span value must be >= 1"
+         | Some v ->
+           if stack = "" then err "empty stack"
+           else if
+             List.exists
+               (fun f -> f = "")
+               (String.split_on_char ';' stack)
+           then err "empty frame in stack"
+           else begin
+             incr stacks;
+             total := !total + v
+           end))
+    (nonempty_lines contents);
+  match List.rev !errors with
+  | [] ->
+    Printf.printf "valid folded stacks: %d stack(s), %d unit(s) total\n"
+      !stacks !total;
+    `Ok ()
+  | e :: _ as all ->
+    List.iter prerr_endline all;
+    `Error (false, Printf.sprintf "%d malformed line(s), first: %s"
+              (List.length all) e)
+
+(* Access log: one JSON object per line with the serving tier's fixed
+   record shape. *)
+let validate_access path contents =
+  let module J = Mfb_util.Json in
+  let errors = ref [] and records = ref 0 in
+  let outcomes = Hashtbl.create 8 in
+  List.iter
+    (fun (ln, line) ->
+      let err msg =
+        errors := Printf.sprintf "%s:%d: %s" path ln msg :: !errors
+      in
+      match J.of_string line with
+      | Error e -> err (Printf.sprintf "invalid JSON (%s)" e)
+      | Ok record ->
+        let str k =
+          match J.member k record with
+          | Some (J.String s) -> Some s
+          | _ -> None
+        in
+        let int_ok k =
+          match J.member k record with Some (J.Int _) -> true | _ -> false
+        in
+        let missing =
+          List.filter
+            (fun k -> str k = None)
+            [ "rid"; "id"; "key"; "backend"; "outcome" ]
+          @ List.filter
+              (fun k -> not (int_ok k))
+              [ "queue_ticks"; "compute_ticks"; "total_ticks" ]
+        in
+        (match missing with
+         | [] ->
+           let outcome = Option.get (str "outcome") in
+           if
+             not
+               (List.mem outcome [ "hit"; "done"; "shed"; "rejected" ])
+           then err (Printf.sprintf "unknown outcome %S" outcome)
+           else begin
+             incr records;
+             Hashtbl.replace outcomes outcome
+               (1
+               + Option.value ~default:0
+                   (Hashtbl.find_opt outcomes outcome))
+           end
+         | ks ->
+           err
+             (Printf.sprintf "missing or mistyped field(s): %s"
+                (String.concat ", " ks))))
+    (nonempty_lines contents);
+  match List.rev !errors with
+  | [] ->
+    let count k = Option.value ~default:0 (Hashtbl.find_opt outcomes k) in
+    Printf.printf
+      "valid access log: %d record(s) (%d done, %d hit, %d shed, %d \
+       rejected)\n"
+      !records (count "done") (count "hit") (count "shed")
+      (count "rejected");
+    `Ok ()
+  | e :: _ as all ->
+    List.iter prerr_endline all;
+    `Error (false, Printf.sprintf "%d malformed line(s), first: %s"
+              (List.length all) e)
 
 let trace_cmd =
   let file_arg =
-    let doc = "Chrome trace_event JSON file written by --trace." in
+    let doc =
+      "Observability artifact: a Chrome trace_event JSON file (--trace), \
+       a folded-stack file (--folded), or a JSONL access log \
+       (--access-log)."
+    in
     Arg.(required & pos 0 (some file) None & info [] ~doc ~docv:"FILE")
   in
-  let action path =
+  let format_arg =
+    let doc =
+      "Artifact format: 'chrome', 'folded', 'access', or 'auto' (detect: \
+       whole-file JSON object is a Chrome trace, line-wise JSON objects \
+       are an access log, anything else is folded stacks)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("auto", `Auto); ("chrome", `Chrome); ("folded", `Folded);
+               ("access", `Access) ])
+          `Auto
+      & info [ "format" ] ~doc ~docv:"FORMAT")
+  in
+  let action path format =
     let module J = Mfb_util.Json in
     let contents = In_channel.with_open_text path In_channel.input_all in
-    match J.of_string contents with
-    | Error e -> `Error (false, Printf.sprintf "%s: invalid JSON (%s)" path e)
-    | Ok doc ->
-      (match J.member "traceEvents" doc with
-       | Some (J.List events) ->
-         let spans = ref 0 and samples = ref 0 and instants = ref 0 in
-         let meta = ref 0 and bad = ref 0 in
-         let tids = Hashtbl.create 16 and cats = Hashtbl.create 16 in
-         List.iter
-           (fun ev ->
-             match J.member "ph" ev, J.member "name" ev with
-             | Some (J.String ph), Some (J.String _) ->
-               (match J.member "tid" ev with
-                | Some (J.Int tid) -> Hashtbl.replace tids tid ()
-                | _ -> ());
-               (match J.member "cat" ev with
-                | Some (J.String c) -> Hashtbl.replace cats c ()
-                | _ -> ());
-               (match ph with
-                | "X" ->
-                  (* Complete events must carry ts and dur. *)
-                  (match J.member "ts" ev, J.member "dur" ev with
-                   | Some _, Some _ -> incr spans
-                   | _ -> incr bad)
-                | "C" -> incr samples
-                | "i" -> incr instants
-                | "M" -> incr meta
-                | _ -> incr bad)
-             | _ -> incr bad)
-           events;
-         if !bad > 0 then
-           `Error
-             (false,
-              Printf.sprintf "%s: %d malformed trace event(s)" path !bad)
-         else begin
-           let sorted tbl =
-             Hashtbl.fold (fun k () acc -> k :: acc) tbl []
-             |> List.sort compare
-           in
-           Printf.printf
-             "valid Chrome trace: %d span(s), %d counter sample(s), %d \
-              instant(s) on %d track(s)\n"
-             !spans !samples !instants
-             (Hashtbl.length tids);
-           Printf.printf "categories: %s\n"
-             (String.concat ", " (sorted cats));
-           `Ok ()
-         end
-       | Some _ -> `Error (false, path ^ ": traceEvents is not an array")
-       | None -> `Error (false, path ^ ": no traceEvents array"))
+    let detect () =
+      if String.trim contents = "" then `Folded
+      else begin
+        let first_line =
+          match nonempty_lines contents with
+          | (_, l) :: _ -> String.trim l
+          | [] -> ""
+        in
+        if first_line <> "" && first_line.[0] = '{' then
+          match J.of_string contents with
+          | Ok doc when J.member "traceEvents" doc <> None -> `Chrome
+          | _ -> `Access
+        else `Folded
+      end
+    in
+    let resolved =
+      match format with
+      | `Auto -> detect ()
+      | `Chrome -> `Chrome
+      | `Folded -> `Folded
+      | `Access -> `Access
+    in
+    match resolved with
+    | `Chrome -> validate_chrome path contents
+    | `Folded -> validate_folded path contents
+    | `Access -> validate_access path contents
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Validate a Chrome trace_event JSON file produced by --trace and \
-          print a summary (span/counter/track counts, categories).")
-    Term.(ret (const action $ file_arg))
+         "Validate an observability artifact — a Chrome trace_event JSON \
+          file, folded flamegraph stacks, or a JSONL access log — and \
+          print a summary.  Malformed input is reported with one error \
+          per offending line.")
+    Term.(ret (const action $ file_arg $ format_arg))
 
 (* --- dot (Graphviz export) --- *)
 
@@ -684,7 +856,15 @@ let worker_cmd =
     let doc = "Fleet slot index of this worker (set by the supervisor)." in
     Arg.(value & opt int 0 & info [ "index" ] ~doc ~docv:"N")
   in
-  let action index fault_plan tc seed sa_restarts backend exact_fuel =
+  let vclock_arg =
+    let doc =
+      "Freeze the per-request telemetry clock at 0, so span trees \
+       shipped back for traced submits are deterministic (set by \
+       'serve' unless it runs with --wall-clock)."
+    in
+    Arg.(value & flag & info [ "vclock" ] ~doc)
+  in
+  let action index vclock fault_plan tc seed sa_restarts backend exact_fuel =
     let fault =
       match fault_plan with
       | None -> Ok Mfb_cluster.Fault.empty
@@ -693,7 +873,7 @@ let worker_cmd =
     match fault with
     | Error msg -> `Error (false, msg)
     | Ok fault ->
-      Mfb_cluster.Worker_main.run ~fault ~index
+      Mfb_cluster.Worker_main.run ~fault ~index ~vclock
         ~config:(config_of ~sa_restarts ~backend ~exact_fuel tc seed)
         stdin stdout;
       `Ok ()
@@ -708,8 +888,8 @@ let worker_cmd =
           in-process synthesis.")
     Term.(
       ret
-        (const action $ index_arg $ fault_plan_arg $ tc_arg $ seed_arg
-       $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
+        (const action $ index_arg $ vclock_arg $ fault_plan_arg $ tc_arg
+       $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
 
 (* --- serve --- *)
 
@@ -777,15 +957,58 @@ let serve_cmd =
       & opt (some string) None
       & info [ "worker-bin" ] ~doc ~docv:"PATH")
   in
+  let access_log_arg =
+    let doc =
+      "Write one JSONL access-log record per finished request to $(docv) \
+       (request id, cache key prefix, backend, outcome, queue/compute/\
+       total latency, fleet attribution).  Under the default virtual \
+       clock the log bytes are identical for every --jobs value and for \
+       --fleet 0 vs --fleet N (modulo the optional 'fleet' subobject)."
+    in
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~doc ~docv:"FILE")
+  in
+  let slow_ms_arg =
+    let doc =
+      "Latency threshold at or above which an access-log record embeds \
+       the request's full span tree (units: virtual ticks, or \
+       milliseconds with --wall-clock)."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~doc ~docv:"T")
+  in
+  let serve_trace_arg =
+    let doc =
+      "Record request-scoped telemetry and write a Chrome trace_event \
+       JSON file to $(docv) on shutdown — one track per request holding \
+       its merged distributed trace (queue wait, compute, worker-side \
+       spans, retries)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let serve_folded_arg =
+    let doc =
+      "Record request-scoped telemetry and write folded flamegraph \
+       stacks to $(docv) on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~doc ~docv:"FILE")
+  in
+  let wall_clock_arg =
+    let doc =
+      "Measure request latency in wall milliseconds instead of virtual \
+       ticks.  Latency histograms and traces stop being deterministic; \
+       use for real load measurements (bench/load_gen does)."
+    in
+    Arg.(value & flag & info [ "wall-clock" ] ~doc)
+  in
   let action jobs cache_size no_cache queue_depth batch fleet fault_plan
-      worker_timeout max_retries worker_bin tc seed sa_restarts backend
-      exact_fuel =
+      worker_timeout max_retries worker_bin access_log slow_ms trace folded
+      wall_clock tc seed sa_restarts backend exact_fuel =
     if cache_size < 0 then
       `Error (false, "--cache-size must be non-negative")
     else if fleet < 0 then `Error (false, "--fleet must be non-negative")
     else if max_retries < 0 then
       `Error (false, "--max-retries must be non-negative")
     else begin
+      let access_oc = Option.map open_out access_log in
       let base_cfg =
         {
           Mfb_server.Server.default_config with
@@ -794,10 +1017,53 @@ let serve_cmd =
           queue_depth;
           batch;
           flow_config = config_of ~sa_restarts ~backend ~exact_fuel tc seed;
+          clock = (if wall_clock then `Wall else `Virtual);
+          access_log = access_oc;
+          slow_threshold = slow_ms;
         }
       in
+      (* The sink's clock reads the server's virtual tick, so every
+         span timestamp — including worker spans grafted after the
+         fact — is a pure function of the request script. *)
+      let serve_with server =
+        let sink =
+          if trace <> None || folded <> None then begin
+            let clock =
+              if wall_clock then Unix.gettimeofday
+              else
+                fun () ->
+                  float_of_int (Mfb_server.Server.current_tick server)
+            in
+            let s = Telemetry.make_sink ~clock () in
+            Telemetry.install s;
+            Some s
+          end
+          else None
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (match sink with
+             | Some s ->
+               (match trace with
+                | Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Mfb_util.Json.to_channel ~indent:1 oc
+                        (Telemetry.to_chrome_json s));
+                  Printf.eprintf "wrote %s\n" path
+                | None -> ());
+               (match folded with
+                | Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      output_string oc (Telemetry.to_folded s));
+                  Printf.eprintf "wrote %s\n" path
+                | None -> ());
+               Telemetry.uninstall ()
+             | None -> ());
+            match access_oc with Some oc -> close_out oc | None -> ())
+          (fun () -> Mfb_server.Server.serve server)
+      in
       if fleet = 0 then begin
-        Mfb_server.Server.serve (Mfb_server.Server.create base_cfg);
+        serve_with (Mfb_server.Server.create base_cfg);
         `Ok ()
       end
       else begin
@@ -814,6 +1080,7 @@ let serve_cmd =
                "--sa-restarts"; string_of_int sa_restarts;
                "--backend"; Mfb_schedule.Portfolio.backend_to_string backend;
                "--exact-fuel"; string_of_int exact_fuel ]
+            @ (if wall_clock then [] else [ "--vclock" ])
             @ (match fault_plan with
                | None -> []
                | Some path -> [ "--fault-plan"; path ]))
@@ -834,11 +1101,12 @@ let serve_cmd =
               Some
                 (fun () ->
                   [ ("cluster", Mfb_cluster.Cluster.stats_json cluster) ]);
+            extra_prometheus = Some (Mfb_cluster.Cluster.prometheus cluster);
           }
         in
         Fun.protect
           ~finally:(fun () -> Mfb_cluster.Cluster.stop cluster)
-          (fun () -> Mfb_server.Server.serve (Mfb_server.Server.create cfg));
+          (fun () -> serve_with (Mfb_server.Server.create cfg));
         `Ok ()
       end
     end
@@ -858,8 +1126,10 @@ let serve_cmd =
       ret
         (const action $ serve_jobs_arg $ cache_size_arg $ no_cache_arg
        $ queue_depth_arg $ batch_arg $ fleet_arg $ fault_plan_arg
-       $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg $ tc_arg
-       $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
+       $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg
+       $ access_log_arg $ slow_ms_arg $ serve_trace_arg $ serve_folded_arg
+       $ wall_clock_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg
+       $ exact_fuel_arg))
 
 let () =
   let doc =

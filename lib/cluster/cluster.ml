@@ -1,4 +1,6 @@
 module Json = Mfb_util.Json
+module Telemetry = Mfb_util.Telemetry
+module Histogram = Mfb_util.Histogram
 module P = Mfb_server.Protocol
 module Server = Mfb_server.Server
 
@@ -27,6 +29,7 @@ type t = {
   cfg : config;
   sup : Supervisor.t;
   dstats : Dispatcher.stats;
+  slot_bytes : Histogram.t array;  (* reply line bytes per slot *)
   mutable stopped : bool;
 }
 
@@ -41,12 +44,15 @@ let create cfg =
       Supervisor.create ~size:cfg.size ~backoff_cap:cfg.backoff_cap
         cfg.worker_argv;
     dstats = Dispatcher.make_stats ();
+    slot_bytes = Array.init cfg.size (fun _ -> Histogram.create ());
     stopped = false;
   }
 
 (* The wire request for a job is its original submit spec: the worker
    re-resolves and re-runs the identical deterministic computation, so
-   a worker answer and an in-process answer are the same bytes. *)
+   a worker answer and an in-process answer are the same bytes.  When
+   the supervisor side has a telemetry sink, the wire id doubles as
+   trace context, asking the worker to ship its span tree back. *)
 let job_to_line (job : Server.job) ~wire_id =
   P.request_to_line
     (P.Submit
@@ -57,11 +63,22 @@ let job_to_line (job : Server.job) ~wire_id =
          flow = job.Server.flow;
          spec = job.Server.spec;
          overrides = job.Server.overrides;
+         trace = (if Telemetry.active () then Some wire_id else None);
        })
 
-let payload_of_line ~wire_id line =
+let payload_of_line t ~wire_id ~slot line =
   match P.response_of_line line with
-  | Ok (P.Job_result { id; result; _ }) when id = wire_id -> Some result
+  | Ok (P.Job_result { id; result; spans; _ }) when id = wire_id ->
+    Histogram.add t.slot_bytes.(slot) (float_of_int (String.length line));
+    let nodes =
+      match spans with
+      | Some (Json.List l) ->
+        List.filter_map
+          (fun j -> Stdlib.Result.to_option (Telemetry.node_of_json j))
+          l
+      | _ -> []
+    in
+    Some (result, nodes)
   | Ok _ | Error _ -> None
 
 let dispatch t jobs =
@@ -74,11 +91,33 @@ let dispatch t jobs =
     }
   in
   Dispatcher.run_batch ~cfg:dcfg ~sup:t.sup ~stats:t.dstats
-    ~degrade:Server.run_job ~to_line:job_to_line ~of_line:payload_of_line
-    jobs
+    ~degrade:(fun job ->
+      (Server.run_job ~trace:[ ("degraded", Telemetry.Bool true) ] job, []))
+    ~to_line:job_to_line ~of_line:(payload_of_line t) jobs
+  |> List.map (fun ((payload, nodes), (meta : Dispatcher.meta)) ->
+         {
+           Server.d_payload = payload;
+           d_slot = meta.Dispatcher.m_slot;
+           d_attempts = meta.Dispatcher.m_attempts;
+           d_spans = nodes;
+         })
 
 let stats t = t.dstats
 let respawns t = Supervisor.respawns t.sup
+
+let slots_json t =
+  Json.List
+    (List.init t.cfg.size (fun i ->
+         let respawns, streak, ok, last = Supervisor.slot_health t.sup i in
+         Json.Obj
+           [
+             ("slot", Json.Int i);
+             ("respawns", Json.Int respawns);
+             ("consecutive_failures", Json.Int streak);
+             ("ok", Json.Int ok);
+             ("last_outcome", Json.String last);
+             ("reply_bytes", Histogram.snapshot_json t.slot_bytes.(i));
+           ]))
 
 let stats_json t =
   let d = t.dstats in
@@ -94,7 +133,20 @@ let stats_json t =
       ("timeouts", Json.Int d.Dispatcher.timeouts);
       ("garbage", Json.Int d.Dispatcher.garbage);
       ("heartbeat_failures", Json.Int d.Dispatcher.heartbeat_failures);
+      ("slots", slots_json t);
     ]
+
+(* Per-slot reply-size series for the server's Prometheus exposition.
+   Slots are distinct metric names (not labels) because the exposition
+   helper renders one histogram per name. *)
+let prometheus t buf =
+  Array.iteri
+    (fun i h ->
+      Histogram.prometheus
+        ~help:(Printf.sprintf "reply line bytes from fleet slot %d" i)
+        ~name:(Printf.sprintf "dcsa_slot%d_reply_bytes" i)
+        buf h)
+    t.slot_bytes
 
 let stop t =
   if not t.stopped then begin

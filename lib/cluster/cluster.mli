@@ -49,17 +49,28 @@ type t
 val create : config -> t
 (** @raise Invalid_argument if [size < 1]. *)
 
-val dispatch : t -> Mfb_server.Server.job list -> Mfb_util.Json.t list
+val dispatch :
+  t -> Mfb_server.Server.job list -> Mfb_server.Server.dispatch_result list
 (** Run one batch on the fleet (see {!Dispatcher.run_batch}); falls back
     to {!Mfb_server.Server.run_job} in-process when a job exhausts its
-    retries or the fleet is fully down. *)
+    retries or the fleet is fully down.  Each result carries the
+    answering slot, the attempt count, and — when the supervisor side
+    has a telemetry sink installed — the worker's span tree parsed from
+    the reply. *)
 
 val stats : t -> Dispatcher.stats
 val respawns : t -> int
 
 val stats_json : t -> Mfb_util.Json.t
 (** Fleet size plus respawn / spawn-failure / retry / degradation /
-    crash / timeout / garbage / heartbeat counters. *)
+    crash / timeout / garbage / heartbeat counters, and a ["slots"]
+    array of per-slot health: respawns, consecutive failures, dispatch
+    successes, last outcome, and a reply-size histogram snapshot. *)
+
+val prometheus : t -> Buffer.t -> unit
+(** Append the per-slot reply-size histograms to a Prometheus text
+    exposition (one [dcsa_slot<i>_reply_bytes] series per slot) — wire
+    this as the server's [extra_prometheus]. *)
 
 val stop : t -> unit
 (** Kill and reap every worker.  Idempotent. *)

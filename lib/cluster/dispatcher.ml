@@ -31,6 +31,11 @@ let make_stats () =
     heartbeat_failures = 0;
   }
 
+type meta = {
+  m_slot : int option;  (* answering slot; None when degraded *)
+  m_attempts : int;     (* total attempts including the answering one *)
+}
+
 type 'job pending = {
   index : int;
   job : 'job;
@@ -52,13 +57,14 @@ let run_batch ~cfg ~sup ~stats ~degrade ~to_line ~of_line jobs =
   let degrade_job p =
     stats.degraded <- stats.degraded + 1;
     bump "degraded";
-    results.(p.index) <- Some (degrade p.job)
+    results.(p.index) <-
+      Some (degrade p.job, { m_slot = None; m_attempts = p.attempts + 1 })
   in
   (* A fault burns one attempt and poisons the slot for this job; the
      job either retries in a later wave or degrades in-process. *)
-  let fault p slot ~counter =
+  let fault p slot ~outcome ~counter =
     counter ();
-    Supervisor.fail sup slot;
+    Supervisor.fail ~outcome sup slot;
     p.excluded <- slot :: p.excluded;
     p.attempts <- p.attempts + 1;
     if p.attempts > cfg.max_retries then degrade_job p
@@ -74,7 +80,7 @@ let run_batch ~cfg ~sup ~stats ~degrade ~to_line ~of_line jobs =
         if not (Worker_proc.ping ~timeout:cfg.hb_timeout w) then begin
           stats.heartbeat_failures <- stats.heartbeat_failures + 1;
           bump "heartbeat_failures";
-          Supervisor.fail sup slot
+          Supervisor.fail ~outcome:"heartbeat" sup slot
         end)
       (Supervisor.live sup);
   while !pending <> [] do
@@ -116,7 +122,7 @@ let run_batch ~cfg ~sup ~stats ~degrade ~to_line ~of_line jobs =
             match Worker_proc.send_line w (to_line p.job ~wire_id) with
             | Ok () -> Some (p, slot, w, wire_id)
             | Error _ ->
-              fault p slot ~counter:(fun () ->
+              fault p slot ~outcome:"crash" ~counter:(fun () ->
                   stats.crashes <- stats.crashes + 1;
                   bump "crashes");
               None)
@@ -127,22 +133,25 @@ let run_batch ~cfg ~sup ~stats ~degrade ~to_line ~of_line jobs =
         (fun (p, slot, w, wire_id) ->
           match Worker_proc.recv_line ~timeout:cfg.timeout w with
           | Worker_proc.Line line ->
-            (match of_line ~wire_id line with
+            (match of_line ~wire_id ~slot line with
              | Some payload ->
-               results.(p.index) <- Some payload;
+               results.(p.index) <-
+                 Some
+                   ( payload,
+                     { m_slot = Some slot; m_attempts = p.attempts + 1 } );
                stats.dispatched <- stats.dispatched + 1;
                bump "dispatched";
                Supervisor.succeed sup slot
              | None ->
-               fault p slot ~counter:(fun () ->
+               fault p slot ~outcome:"garbage" ~counter:(fun () ->
                    stats.garbage <- stats.garbage + 1;
                    bump "garbage"))
           | Worker_proc.Timeout ->
-            fault p slot ~counter:(fun () ->
+            fault p slot ~outcome:"timeout" ~counter:(fun () ->
                 stats.timeouts <- stats.timeouts + 1;
                 bump "timeouts")
           | Worker_proc.Eof ->
-            fault p slot ~counter:(fun () ->
+            fault p slot ~outcome:"crash" ~counter:(fun () ->
                 stats.crashes <- stats.crashes + 1;
                 bump "crashes"))
         sent;

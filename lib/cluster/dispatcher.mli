@@ -44,18 +44,30 @@ type stats = {
 
 val make_stats : unit -> stats
 
+type meta = {
+  m_slot : int option;
+      (** slot that answered; [None] when the job was degraded *)
+  m_attempts : int;
+      (** total attempts including the answering one, so
+          [m_attempts - 1] is the retry count *)
+}
+(** Per-job dispatch attribution, returned alongside each payload so
+    the serving tier can log and trace which slot answered and how many
+    attempts it took. *)
+
 val run_batch :
   cfg:config ->
   sup:Supervisor.t ->
   stats:stats ->
   degrade:('job -> 'payload) ->
   to_line:('job -> wire_id:string -> string) ->
-  of_line:(wire_id:string -> string -> 'payload option) ->
+  of_line:(wire_id:string -> slot:int -> string -> 'payload option) ->
   'job list ->
-  'payload list
+  ('payload * meta) list
 (** [run_batch ~cfg ~sup ~stats ~degrade ~to_line ~of_line jobs] returns
-    one payload per job, in order.  [to_line] serializes a job as a wire
-    request carrying [wire_id]; [of_line] parses a response line,
-    returning [None] unless it is a well-formed answer to [wire_id]
-    (triggering the garbage path).  Counter increments mirror into
+    one payload (with its dispatch {!meta}) per job, in order.
+    [to_line] serializes a job as a wire request carrying [wire_id];
+    [of_line] parses a response line read from [slot], returning [None]
+    unless it is a well-formed answer to [wire_id] (triggering the
+    garbage path).  Counter increments mirror into
     {!Mfb_util.Telemetry} under the ["cluster"] category. *)

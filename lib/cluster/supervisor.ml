@@ -11,6 +11,9 @@ type t = {
   slots : slot_state array;
   streak : int array;  (* consecutive failures per slot *)
   spawned_once : bool array;
+  slot_respawns : int array;
+  slot_ok : int array;  (* dispatch successes per slot *)
+  last_outcome : string array;
   mutable tick_ : int;
   mutable respawns_ : int;
   mutable spawn_failures_ : int;
@@ -26,6 +29,9 @@ let create ~size ?(backoff_cap = 8) argv_of =
     slots = Array.make size (Due 0);
     streak = Array.make size 0;
     spawned_once = Array.make size false;
+    slot_respawns = Array.make size 0;
+    slot_ok = Array.make size 0;
+    last_outcome = Array.make size "never";
     tick_ = 0;
     respawns_ = 0;
     spawn_failures_ = 0;
@@ -48,12 +54,14 @@ let try_spawn t slot =
   | w ->
     if t.spawned_once.(slot) then begin
       t.respawns_ <- t.respawns_ + 1;
+      t.slot_respawns.(slot) <- t.slot_respawns.(slot) + 1;
       Telemetry.incr ~cat:"cluster" "respawns"
     end;
     t.spawned_once.(slot) <- true;
     t.slots.(slot) <- Running w
   | exception (Unix.Unix_error _ | Invalid_argument _ | Sys_error _) ->
     t.spawn_failures_ <- t.spawn_failures_ + 1;
+    t.last_outcome.(slot) <- "spawn-failure";
     Telemetry.incr ~cat:"cluster" "spawn_failures";
     schedule_respawn t slot
 
@@ -67,6 +75,7 @@ let tick t =
           if Worker_proc.reap_if_dead w then begin
             (* died on its own between jobs — same as a dispatch fault *)
             Worker_proc.kill w;
+            t.last_outcome.(slot) <- "died";
             schedule_respawn t slot
           end
         | Due _ -> ())
@@ -86,13 +95,25 @@ let live t =
        | i, Running w -> Some (i, w)
        | _, Due _ -> None)
 
-let fail t slot =
+let fail ?(outcome = "fault") t slot =
   (match t.slots.(slot) with
    | Running w -> Worker_proc.kill w
    | Due _ -> ());
+  t.last_outcome.(slot) <- outcome;
   schedule_respawn t slot
 
-let succeed t slot = t.streak.(slot) <- 0
+let succeed t slot =
+  t.streak.(slot) <- 0;
+  t.slot_ok.(slot) <- t.slot_ok.(slot) + 1;
+  t.last_outcome.(slot) <- "ok"
+
+(* Per-slot health snapshot for fleet stats: (respawns, consecutive
+   failures, dispatch successes, last outcome). *)
+let slot_health t slot =
+  ( t.slot_respawns.(slot),
+    t.streak.(slot),
+    t.slot_ok.(slot),
+    t.last_outcome.(slot) )
 
 let stop t =
   t.stopped <- true;

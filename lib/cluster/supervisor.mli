@@ -33,12 +33,21 @@ val tick : t -> unit
 val live : t -> (int * Worker_proc.t) list
 (** Running slots in slot order. *)
 
-val fail : t -> int -> unit
+val fail : ?outcome:string -> t -> int -> unit
 (** Report a worker fault on a slot: kill the process, extend the
-    slot's failure streak, and schedule a backed-off respawn. *)
+    slot's failure streak, and schedule a backed-off respawn.
+    [outcome] (default ["fault"]) labels the slot's last-outcome in
+    {!slot_health} — the dispatcher passes ["crash"], ["timeout"],
+    ["garbage"] or ["heartbeat"]. *)
 
 val succeed : t -> int -> unit
-(** Report a completed job: resets the slot's failure streak. *)
+(** Report a completed job: resets the slot's failure streak, counts a
+    success, and records last-outcome ["ok"]. *)
+
+val slot_health : t -> int -> int * int * int * string
+(** [(respawns, consecutive_failures, ok, last_outcome)] for one slot.
+    [last_outcome] starts as ["never"]; ["died"] marks a worker reaped
+    between jobs, ["spawn-failure"] a failed spawn attempt. *)
 
 val stop : t -> unit
 (** Kill every running worker and stop respawning. *)

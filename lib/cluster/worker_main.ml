@@ -1,4 +1,5 @@
 module Json = Mfb_util.Json
+module Telemetry = Mfb_util.Telemetry
 module P = Mfb_server.Protocol
 module Server = Mfb_server.Server
 
@@ -9,16 +10,52 @@ let respond oc resp =
 
 (* Answer one resolved submit: the same computation the in-process
    server path runs, so recovery by re-dispatch (or by degradation) is
-   answer-preserving by construction. *)
-let answer ~config ~id ~flow ~spec ~overrides =
+   answer-preserving by construction.  When the submit carries trace
+   context, the computation runs under a fresh per-request sink and the
+   resulting span forest ships back in the reply — the payload bytes
+   are identical either way, only the optional ["spans"] field is
+   added.  Under [vclock] the worker clock is frozen at 0, so shipped
+   span trees are a pure function of the computation structure. *)
+let answer ?(vclock = false) ~index ~config ~id ~flow ~spec ~overrides ~trace
+    () =
   match Server.resolve ~base:config ~flow ~overrides spec with
   | Error reason -> P.Rejected { op = "submit"; id; reason }
   | Ok job ->
-    let payload = Server.run_job job in
-    P.Job_result
-      { id; key = Mfb_server.Cache_key.to_hex job.Server.key; result = payload }
+    let key = Mfb_server.Cache_key.to_hex job.Server.key in
+    (match trace with
+     | None ->
+       let payload = Server.run_job job in
+       P.Job_result { id; key; result = payload; spans = None }
+     | Some ctx ->
+       let saved = Telemetry.installed_sink () in
+       Telemetry.uninstall ();
+       let clock =
+         if vclock then fun () -> 0.0 else Unix.gettimeofday
+       in
+       let sink = Telemetry.make_sink ~clock () in
+       Telemetry.install sink;
+       let payload =
+         Fun.protect
+           ~finally:(fun () ->
+             Telemetry.uninstall ();
+             match saved with
+             | Some s -> Telemetry.install s
+             | None -> ())
+           (fun () ->
+             Server.run_job
+               ~trace:
+                 [ ("ctx", Telemetry.Str ctx);
+                   ("worker", Telemetry.Int index) ]
+               job)
+       in
+       let spans =
+         Json.List
+           (List.map Telemetry.node_to_json
+              (Telemetry.spans ~max_depth:4 sink))
+       in
+       P.Job_result { id; key; result = payload; spans = Some spans })
 
-let run ?(fault = Fault.empty) ?(index = 0) ~config ic oc =
+let run ?(fault = Fault.empty) ?(index = 0) ?(vclock = false) ~config ic oc =
   let jobs_done = ref 0 in
   let rec loop () =
     match P.input_line_bounded ic with
@@ -39,9 +76,13 @@ let run ?(fault = Fault.empty) ?(index = 0) ~config ic oc =
       else begin
         (match P.request_of_line trimmed with
          | Error message -> respond oc (P.Bad_request { id = None; message })
-         | Ok (P.Submit { id; flow; spec; overrides; _ }) ->
+         | Ok (P.Submit { id; flow; spec; overrides; trace; _ }) ->
            let job = !jobs_done in
            incr jobs_done;
+           let answer () =
+             answer ~vclock ~index ~config ~id ~flow ~spec ~overrides ~trace
+               ()
+           in
            (match Fault.lookup fault ~worker:index ~job with
             | Some Fault.Crash -> exit 3
             | Some Fault.Stall ->
@@ -53,16 +94,14 @@ let run ?(fault = Fault.empty) ?(index = 0) ~config ic oc =
               output_string oc "%% corrupted response line %%\n";
               flush oc
             | Some Fault.Truncate ->
-              let full =
-                P.response_to_line (answer ~config ~id ~flow ~spec ~overrides)
-              in
+              let full = P.response_to_line (answer ()) in
               output_string oc (String.sub full 0 (String.length full / 2));
               flush oc;
               exit 3
             | Some (Fault.Slow s) ->
               Unix.sleepf s;
-              respond oc (answer ~config ~id ~flow ~spec ~overrides)
-            | None -> respond oc (answer ~config ~id ~flow ~spec ~overrides))
+              respond oc (answer ())
+            | None -> respond oc (answer ()))
          | Ok P.Stats ->
            respond oc
              (P.Stats_reply
@@ -76,7 +115,7 @@ let run ?(fault = Fault.empty) ?(index = 0) ~config ic oc =
                    [ ("worker", Json.Int index);
                      ("jobs", Json.Int !jobs_done) ]));
            raise Exit
-         | Ok (P.Status _ | P.Result _) ->
+         | Ok (P.Status _ | P.Result _ | P.Stats_prom) ->
            respond oc
              (P.Bad_request
                 {

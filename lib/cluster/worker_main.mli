@@ -24,10 +24,17 @@
 val run :
   ?fault:Fault.plan ->
   ?index:int ->
+  ?vclock:bool ->
   config:Mfb_core.Config.t ->
   in_channel ->
   out_channel ->
   unit
 (** [run ~config ic oc] serves until [shutdown] or EOF.  [index]
     (default 0) is the worker's fleet slot, used for fault lookup and
-    reported in heartbeats. *)
+    reported in heartbeats.
+
+    A [submit] carrying a ["trace"] field runs under a fresh
+    per-request telemetry sink and ships its span forest back in the
+    reply's ["spans"] field; with [vclock] (default [false]) that sink's
+    clock is frozen at 0 so the shipped tree is deterministic — the
+    serving tier passes it whenever it runs on the virtual clock. *)

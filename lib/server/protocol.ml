@@ -22,25 +22,33 @@ type request =
       flow : [ `Ours | `Ba ];
       spec : spec;
       overrides : overrides;
+      trace : string option;
     }
   | Status of string
   | Result of string
   | Stats
+  | Stats_prom
   | Shutdown
 
 type response =
   | Submitted of { id : string; key : string }
   | Rejected of { op : string; id : string; reason : string }
   | Job_status of { id : string; state : string }
-  | Job_result of { id : string; key : string; result : Json.t }
+  | Job_result of {
+      id : string;
+      key : string;
+      result : Json.t;
+      spans : Json.t option;
+    }
   | Stats_reply of Json.t
+  | Stats_text of string
   | Goodbye of Json.t
   | Bad_request of { id : string option; message : string }
 
 (* --- writers --- *)
 
 let request_to_json = function
-  | Submit { id; priority; deadline; flow; spec; overrides } ->
+  | Submit { id; priority; deadline; flow; spec; overrides; trace } ->
     let spec_fields =
       match spec with
       | Benchmark b -> [ ("benchmark", Json.String b) ]
@@ -70,12 +78,16 @@ let request_to_json = function
       @ opt "backend"
           (fun b ->
             Json.String (Mfb_schedule.Portfolio.backend_to_string b))
-          overrides.o_backend)
+          overrides.o_backend
+      @ opt "trace" (fun t -> Json.String t) trace)
   | Status id ->
     Json.Obj [ ("op", Json.String "status"); ("id", Json.String id) ]
   | Result id ->
     Json.Obj [ ("op", Json.String "result"); ("id", Json.String id) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Stats_prom ->
+    Json.Obj
+      [ ("op", Json.String "stats"); ("format", Json.String "prometheus") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
 let response_to_json = function
@@ -91,15 +103,20 @@ let response_to_json = function
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "status");
         ("id", Json.String id); ("state", Json.String state) ]
-  | Job_result { id; key; result } ->
+  | Job_result { id; key; result; spans } ->
     Json.Obj
-      [ ("ok", Json.Bool true); ("op", Json.String "result");
-        ("id", Json.String id); ("key", Json.String key);
-        ("result", result) ]
+      ([ ("ok", Json.Bool true); ("op", Json.String "result");
+         ("id", Json.String id); ("key", Json.String key);
+         ("result", result) ]
+      @ (match spans with None -> [] | Some s -> [ ("spans", s) ]))
   | Stats_reply stats ->
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "stats");
         ("stats", stats) ]
+  | Stats_text text ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "stats");
+        ("format", Json.String "prometheus"); ("text", Json.String text) ]
   | Goodbye stats ->
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "shutdown");
@@ -177,6 +194,12 @@ let parse_submit v =
                 \"portfolio\"")
     | Some _ -> Error "field \"backend\" must be a string"
   in
+  let* trace =
+    match field "trace" v with
+    | None -> Ok None
+    | Some (Json.String t) -> Ok (Some t)
+    | Some _ -> Error "field \"trace\" must be a string"
+  in
   Ok
     (Submit
        {
@@ -186,6 +209,7 @@ let parse_submit v =
          flow;
          spec;
          overrides = { o_seed; o_tc; o_sa_restarts; o_backend };
+         trace;
        })
 
 let request_of_json v =
@@ -198,7 +222,12 @@ let request_of_json v =
   | "result" ->
     let* id = string_field "id" v in
     Ok (Result id)
-  | "stats" -> Ok Stats
+  | "stats" ->
+    (match field "format" v with
+     | None -> Ok Stats
+     | Some (Json.String "prometheus") -> Ok Stats_prom
+     | Some (Json.String "json") -> Ok Stats
+     | Some _ -> Error "field \"format\" must be \"json\" or \"prometheus\"")
   | "shutdown" -> Ok Shutdown
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
@@ -241,12 +270,14 @@ let response_of_json v =
       let* id = string_field "id" v in
       let* key = string_field "key" v in
       (match field "result" v with
-       | Some result -> Ok (Job_result { id; key; result })
+       | Some result ->
+         Ok (Job_result { id; key; result; spans = field "spans" v })
        | None -> Error "missing field \"result\"")
     | "stats" ->
-      (match field "stats" v with
-       | Some stats -> Ok (Stats_reply stats)
-       | None -> Error "missing field \"stats\"")
+      (match (field "stats" v, field "text" v) with
+       | Some stats, _ -> Ok (Stats_reply stats)
+       | None, Some (Json.String text) -> Ok (Stats_text text)
+       | None, _ -> Error "missing field \"stats\"")
     | "shutdown" ->
       (match field "stats" v with
        | Some stats -> Ok (Goodbye stats)

@@ -55,10 +55,15 @@ type request =
       flow : [ `Ours | `Ba ];
       spec : spec;
       overrides : overrides;
+      trace : string option;
+          (** distributed-trace context (the request id assigned by the
+              serving tier); a worker that receives it ships its span
+              tree back in the reply *)
     }
   | Status of string  (** job id *)
   | Result of string  (** job id *)
   | Stats
+  | Stats_prom  (** [{"op":"stats","format":"prometheus"}] *)
   | Shutdown
 
 type response =
@@ -67,8 +72,18 @@ type response =
       (** admission refusal, shed job, unknown id, bad spec … *)
   | Job_status of { id : string; state : string }
       (** state: ["queued"], ["done"], ["shed"] *)
-  | Job_result of { id : string; key : string; result : Mfb_util.Json.t }
+  | Job_result of {
+      id : string;
+      key : string;
+      result : Mfb_util.Json.t;
+      spans : Mfb_util.Json.t option;
+          (** worker-side span forest ([Telemetry.node_to_json] list);
+              present only when the request carried trace context, so
+              client-visible bytes are unchanged otherwise *)
+    }
   | Stats_reply of Mfb_util.Json.t
+  | Stats_text of string
+      (** Prometheus text exposition answering {!Stats_prom} *)
   | Goodbye of Mfb_util.Json.t  (** shutdown ack carrying final stats *)
   | Bad_request of { id : string option; message : string }
       (** malformed request *)

@@ -1,6 +1,7 @@
 module Json = Mfb_util.Json
 module Lru = Mfb_util.Lru
 module Telemetry = Mfb_util.Telemetry
+module Histogram = Mfb_util.Histogram
 module P = Protocol
 
 (* A fully resolved, validated synthesis job — everything needed to run
@@ -17,14 +18,29 @@ type job = {
   overrides : P.overrides;
 }
 
+(* One batch slot's answer for one job.  The fleet dispatcher fills in
+   attribution (slot, attempts, worker-side span tree); the in-process
+   path leaves it empty, which is exactly what keeps the access log
+   byte-identical between the two transports. *)
+type dispatch_result = {
+  d_payload : Json.t;
+  d_slot : int option;
+  d_attempts : int;
+  d_spans : Telemetry.node list;
+}
+
 type config = {
   jobs : int;
   cache_capacity : int;
   queue_depth : int;
   batch : int;
   flow_config : Mfb_core.Config.t;
-  dispatch : (job list -> Json.t list) option;
+  dispatch : (job list -> dispatch_result list) option;
   extra_stats : (unit -> (string * Json.t) list) option;
+  extra_prometheus : (Buffer.t -> unit) option;
+  clock : [ `Virtual | `Wall ];
+  access_log : out_channel option;
+  slow_threshold : float option;
 }
 
 let default_config =
@@ -36,9 +52,23 @@ let default_config =
     flow_config = Mfb_core.Config.default;
     dispatch = None;
     extra_stats = None;
+    extra_prometheus = None;
+    clock = `Virtual;
+    access_log = None;
+    slow_threshold = None;
   }
 
 type outcome = Done of { key : Cache_key.t; payload : Json.t } | Shed of string
+
+(* Request-scoped bookkeeping, keyed by client id from admission to the
+   final outcome.  [rid] is the deterministic request id (a pure
+   function of submission order), so every observability artifact that
+   mentions it is identical across [--jobs] values and transports. *)
+type req_info = {
+  rid : string;
+  submit_tick : int;
+  submit_wall : float;
+}
 
 type t = {
   cfg : config;
@@ -46,6 +76,10 @@ type t = {
   queue : job Job_queue.t;
   outcomes : (string, outcome) Hashtbl.t;
   ids : (string, unit) Hashtbl.t;  (* every accepted id, for dedupe *)
+  req_info : (string, req_info) Hashtbl.t;
+  h_latency : Histogram.t;    (* total request latency, clock units *)
+  h_queue_wait : Histogram.t; (* queue wait in virtual ticks *)
+  mutable next_rid : int;
   mutable tick : int;
   mutable submitted : int;
   mutable computed : int;
@@ -68,6 +102,10 @@ let create cfg =
     queue = Job_queue.create ~depth:cfg.queue_depth ();
     outcomes = Hashtbl.create 64;
     ids = Hashtbl.create 64;
+    req_info = Hashtbl.create 64;
+    h_latency = Histogram.create ();
+    h_queue_wait = Histogram.create ();
+    next_rid = 0;
     tick = 0;
     submitted = 0;
     computed = 0;
@@ -76,6 +114,8 @@ let create cfg =
     rejected = 0;
     stopping = false;
   }
+
+let current_tick t = t.tick
 
 let shutting_down t = t.stopping
 
@@ -144,14 +184,138 @@ let resolve_job t ~flow ~overrides spec =
 
 (* --- batch execution --- *)
 
-let run_job job =
-  let r =
-    match job.flow with
-    | `Ours ->
-      Mfb_core.Flow.run ~config:job.config ~jobs:1 job.graph job.allocation
-    | `Ba -> Mfb_core.Baseline.run ~config:job.config job.graph job.allocation
+let run_job ?trace job =
+  let compute () =
+    let r =
+      match job.flow with
+      | `Ours ->
+        Mfb_core.Flow.run ~config:job.config ~jobs:1 job.graph job.allocation
+      | `Ba ->
+        Mfb_core.Baseline.run ~config:job.config job.graph job.allocation
+    in
+    Mfb_core.Result.(summary_to_json (summarize r))
   in
-  Mfb_core.Result.(summary_to_json (summarize r))
+  match trace with
+  | None -> compute ()
+  | Some args -> Telemetry.span ~cat:"serve" ~args "request" compute
+
+(* --- request observability ---
+
+   Every submission is assigned a deterministic request id and ends in
+   exactly one of the outcomes {hit, done, shed, rejected}.  At that
+   point the server builds one span-tree [node] for the request — queue
+   wait and compute phases as children, worker-side spans (when a fleet
+   shipped them back) grafted under the compute phase — and feeds it to
+   all three consumers: the telemetry sink (one subtrack per request),
+   the access log (one JSONL record, plus the span tree for slow
+   requests), and the latency/queue-wait histograms. *)
+
+let next_rid t =
+  t.next_rid <- t.next_rid + 1;
+  Printf.sprintf "r%06d" t.next_rid
+
+let key_prefix key =
+  let hex = Cache_key.to_hex key in
+  if String.length hex > 8 then String.sub hex 0 8 else hex
+
+let backend_name (job : job) =
+  Mfb_schedule.Portfolio.backend_to_string job.config.backend
+
+let latency_units t (info : req_info) ~total_ticks =
+  match t.cfg.clock with
+  | `Virtual -> float_of_int total_ticks
+  | `Wall -> (Unix.gettimeofday () -. info.submit_wall) *. 1000.0
+
+let request_node ~rid ~id ~key ~backend ~outcome ?reason ?batch ?fleet
+    ~queue_ticks ~compute_ticks ~worker_spans () =
+  let open Telemetry in
+  let args =
+    [ ("rid", Str rid); ("id", Str id); ("key", Str key);
+      ("backend", Str backend); ("outcome", Str outcome) ]
+    @ (match reason with None -> [] | Some r -> [ ("reason", Str r) ])
+    @ (match batch with None -> [] | Some b -> [ ("batch", Int b) ])
+    @ (match fleet with
+       | None -> []
+       | Some (slot, retries) ->
+         [ ("slot", Int slot); ("retries", Int retries) ])
+  in
+  let children =
+    (if queue_ticks > 0 || compute_ticks > 0 then
+       [ { n_name = "queue.wait"; n_cat = "serve"; n_args = [];
+           n_dur_us = float_of_int queue_ticks; n_children = [] } ]
+     else [])
+    @ (if compute_ticks > 0 then
+         [ { n_name = "compute"; n_cat = "serve"; n_args = [];
+             n_dur_us = float_of_int compute_ticks;
+             n_children = worker_spans } ]
+       else [])
+  in
+  {
+    n_name = "request";
+    n_cat = "serve";
+    n_args = args;
+    n_dur_us = float_of_int (queue_ticks + compute_ticks);
+    n_children = children;
+  }
+
+(* One JSONL record with a fixed field order, so [cmp] can prove the log
+   is a pure function of the request script.  Fleet attribution rides in
+   a trailing optional subobject that identity checks strip. *)
+let access_fields ~rid ~id ~key ~backend ~outcome ?reason ?batch ?fleet
+    ?spans ~queue_ticks ~compute_ticks () =
+  [ ("rid", Json.String rid); ("id", Json.String id);
+    ("key", Json.String key); ("backend", Json.String backend);
+    ("outcome", Json.String outcome) ]
+  @ (match reason with None -> [] | Some r -> [ ("reason", Json.String r) ])
+  @ [ ("queue_ticks", Json.Int queue_ticks);
+      ("compute_ticks", Json.Int compute_ticks);
+      ("total_ticks", Json.Int (queue_ticks + compute_ticks)) ]
+  @ (match batch with None -> [] | Some b -> [ ("batch", Json.Int b) ])
+  @ (match fleet with
+     | None -> []
+     | Some (slot, retries) ->
+       [ ( "fleet",
+           Json.Obj [ ("slot", Json.Int slot); ("retries", Json.Int retries) ]
+         ) ])
+  @ (match spans with None -> [] | Some s -> [ ("spans", s) ])
+
+let finish_request t ~rid ~id ~key ~backend ~outcome ?reason ?batch ?fleet
+    ~queue_ticks ~compute_ticks ~worker_spans ~latency () =
+  let node =
+    request_node ~rid ~id ~key ~backend ~outcome ?reason ?batch ?fleet
+      ~queue_ticks ~compute_ticks ~worker_spans ()
+  in
+  if Telemetry.active () then
+    Telemetry.on_subtrack (Telemetry.subtrack rid) (fun () ->
+        Telemetry.emit_node node);
+  (match latency with
+   | None -> ()
+   | Some l -> Histogram.add t.h_latency l);
+  (match t.cfg.access_log with
+   | None -> ()
+   | Some oc ->
+     let slow =
+       match (t.cfg.slow_threshold, latency) with
+       | Some thr, Some l -> l >= thr
+       | _ -> false
+     in
+     let spans =
+       if slow then Some (Json.List [ Telemetry.node_to_json node ])
+       else None
+     in
+     let fields =
+       access_fields ~rid ~id ~key ~backend ~outcome ?reason ?batch ?fleet
+         ?spans ~queue_ticks ~compute_ticks ()
+     in
+     output_string oc (Json.to_string (Json.Obj fields));
+     output_char oc '\n';
+     flush oc);
+  Hashtbl.remove t.req_info id
+
+let req_info_of t id =
+  match Hashtbl.find_opt t.req_info id with
+  | Some info -> info
+  | None -> { rid = "-"; submit_tick = t.tick; submit_wall = 0.0 }
 
 (* One virtual tick: shed expired jobs, then run up to [batch] jobs in
    dispatch order — identical keys computed once, results recorded and
@@ -160,6 +324,10 @@ let run_job job =
 let process_batch t =
   t.tick <- t.tick + 1;
   Telemetry.incr ~cat:"serve" "batches";
+  let batch_tick = t.tick in
+  let queue_wait (it : job Job_queue.item) =
+    max 0 (batch_tick - it.submitted - 1)
+  in
   let dispatched, dead =
     Job_queue.pop_batch t.queue ~now:t.tick ~max:t.cfg.batch
   in
@@ -174,7 +342,14 @@ let process_batch t =
                dispatch attempted at tick %d"
               it.submitted
               (Option.value it.deadline ~default:0)
-              t.tick)))
+              t.tick));
+      let info = req_info_of t it.id in
+      let qw = queue_wait it in
+      Histogram.add t.h_queue_wait (float_of_int qw);
+      finish_request t ~rid:info.rid ~id:it.id
+        ~key:(key_prefix it.payload.key) ~backend:(backend_name it.payload)
+        ~outcome:"shed" ~reason:"deadline" ~batch:batch_tick ~queue_ticks:qw
+        ~compute_ticks:0 ~worker_spans:[] ~latency:None ())
     dead;
   (* Keys neither cached nor already seen in this batch run once. *)
   let seen = Hashtbl.create 8 in
@@ -192,25 +367,49 @@ let process_batch t =
         end)
       dispatched
   in
-  let payloads =
+  let results =
     match t.cfg.dispatch with
     | Some dispatch ->
       dispatch (List.map (fun (it : job Job_queue.item) -> it.payload) unique)
     | None ->
+      (* Trace args are resolved on the server thread before fan-out so
+         pool tasks never touch server state. *)
+      let traced =
+        List.map
+          (fun (it : job Job_queue.item) ->
+            let info = req_info_of t it.id in
+            ( it,
+              [ ("rid", Telemetry.Str info.rid);
+                ("key", Telemetry.Str (key_prefix it.payload.key)) ] ))
+          unique
+      in
       Mfb_util.Pool.map ~label:"serve-job" ~jobs:t.cfg.jobs
-        (fun (it : job Job_queue.item) -> run_job it.payload)
-        unique
+        (fun ((it : job Job_queue.item), trace) ->
+          {
+            d_payload = run_job ~trace it.payload;
+            d_slot = None;
+            d_attempts = 1;
+            d_spans = [];
+          })
+        traced
   in
   t.computed <- t.computed + List.length unique;
   let fresh = Hashtbl.create 8 in
+  (* key -> (fleet attribution, worker spans, computing id) for the jobs
+     this batch actually ran; batch duplicates share the attribution but
+     the span tree is grafted only under the computing request. *)
+  let meta = Hashtbl.create 8 in
   List.iter2
-    (fun (it : job Job_queue.item) payload ->
-      Hashtbl.replace fresh it.payload.key payload;
+    (fun (it : job Job_queue.item) res ->
+      Hashtbl.replace fresh it.payload.key res.d_payload;
+      Hashtbl.replace meta it.payload.key
+        (res.d_slot, res.d_attempts, res.d_spans, it.id);
       (match t.cache with
-       | Some c -> Lru.add c it.payload.key payload
+       | Some c -> Lru.add c it.payload.key res.d_payload
        | None -> ());
-      Hashtbl.replace t.outcomes it.id (Done { key = it.payload.key; payload }))
-    unique payloads;
+      Hashtbl.replace t.outcomes it.id
+        (Done { key = it.payload.key; payload = res.d_payload }))
+    unique results;
   (* Batch duplicates and jobs answered by an earlier batch's cache
      entry: the [Lru.find] counts the reuse as a hit. *)
   List.iter
@@ -227,6 +426,29 @@ let process_batch t =
         in
         Hashtbl.replace t.outcomes it.id (Done { key; payload })
       end)
+    dispatched;
+  (* Observability pass, in dispatch order. *)
+  List.iter
+    (fun (it : job Job_queue.item) ->
+      let info = req_info_of t it.id in
+      let qw = queue_wait it in
+      let fleet, worker_spans =
+        match Hashtbl.find_opt meta it.payload.key with
+        | Some (Some slot, attempts, spans, owner) ->
+          ( Some (slot, max 0 (attempts - 1)),
+            if owner = it.id then spans else [] )
+        | Some (None, _, spans, owner) ->
+          (None, if owner = it.id then spans else [])
+        | None -> (None, [])
+      in
+      Histogram.add t.h_queue_wait (float_of_int qw);
+      let total_ticks = qw + 1 in
+      finish_request t ~rid:info.rid ~id:it.id
+        ~key:(key_prefix it.payload.key) ~backend:(backend_name it.payload)
+        ~outcome:"done" ~batch:batch_tick ?fleet ~queue_ticks:qw
+        ~compute_ticks:1 ~worker_spans
+        ~latency:(Some (latency_units t info ~total_ticks))
+        ())
     dispatched
 
 let drain_until t id =
@@ -272,6 +494,8 @@ let stats_json t =
             ("displaced", Json.Int t.shed_displaced);
           ] );
       ("rejected", Json.Int t.rejected);
+      ("latency", Histogram.snapshot_json t.h_latency);
+      ("queue_wait", Histogram.snapshot_json t.h_queue_wait);
       ("jobs", Json.Int t.cfg.jobs);
       ("config", Mfb_core.Config.to_json t.cfg.flow_config);
     ]
@@ -279,15 +503,119 @@ let stats_json t =
   in
   Json.Obj fields
 
+let latency_histogram t = t.h_latency
+
+let queue_wait_histogram t = t.h_queue_wait
+
+(* Prometheus text exposition: server counters, cache counters, and the
+   two rolling histograms; a fleet appends its per-slot series via
+   [extra_prometheus].  Deterministic under the virtual clock. *)
+let prometheus_stats t =
+  let buf = Buffer.create 1024 in
+  let counter name help v =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s counter\n%s %d\n" name help
+         name name v)
+  in
+  let gauge name help v =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n%s %d\n" name help name
+         name v)
+  in
+  counter "dcsa_submitted_total" "accepted submissions" t.submitted;
+  counter "dcsa_computed_total" "jobs synthesised (after dedup)" t.computed;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "# HELP dcsa_shed_total jobs shed before completion\n\
+        # TYPE dcsa_shed_total counter\n\
+        dcsa_shed_total{reason=\"deadline\"} %d\n\
+        dcsa_shed_total{reason=\"displaced\"} %d\n"
+       t.shed_deadline t.shed_displaced);
+  counter "dcsa_rejected_total" "refused submissions" t.rejected;
+  (match t.cache with
+   | None -> ()
+   | Some c ->
+     let s = Lru.stats c in
+     counter "dcsa_cache_hits_total" "result cache hits" s.hits;
+     counter "dcsa_cache_misses_total" "result cache misses" s.misses;
+     counter "dcsa_cache_evictions_total" "result cache evictions" s.evictions;
+     gauge "dcsa_cache_entries" "live result cache entries" (Lru.length c));
+  gauge "dcsa_tick" "virtual batch clock" t.tick;
+  gauge "dcsa_queue_length" "jobs waiting in the queue"
+    (Job_queue.length t.queue);
+  Histogram.prometheus ~help:"request latency (ticks, or ms in wall mode)"
+    ~name:"dcsa_request_latency" buf t.h_latency;
+  Histogram.prometheus ~help:"queue wait (virtual ticks)"
+    ~name:"dcsa_queue_wait_ticks" buf t.h_queue_wait;
+  (match t.cfg.extra_prometheus with None -> () | Some f -> f buf);
+  Buffer.contents buf
+
+(* Shutdown audit record: authoritative counter totals, independent of
+   whether a telemetry sink was installed. *)
+let totals_json t =
+  let cache =
+    match t.cache with
+    | None ->
+      Json.Obj
+        [ ("hits", Json.Int 0); ("misses", Json.Int 0);
+          ("evictions", Json.Int 0) ]
+    | Some c ->
+      let s = Lru.stats c in
+      Json.Obj
+        [ ("hits", Json.Int s.hits); ("misses", Json.Int s.misses);
+          ("evictions", Json.Int s.evictions) ]
+  in
+  let queue =
+    Json.Obj
+      [
+        ("submitted", Json.Int t.submitted);
+        ("computed", Json.Int t.computed);
+        ("shed", Json.Int (t.shed_deadline + t.shed_displaced));
+        ("rejected", Json.Int t.rejected);
+      ]
+  in
+  let cluster =
+    let extra = match t.cfg.extra_stats with None -> [] | Some f -> f () in
+    let fields =
+      match List.assoc_opt "cluster" extra with
+      | Some (Json.Obj fs) -> fs
+      | _ -> []
+    in
+    let geti k =
+      match List.assoc_opt k fields with Some (Json.Int i) -> i | _ -> 0
+    in
+    Json.Obj
+      [
+        ("dispatched", Json.Int (geti "dispatched"));
+        ("retries", Json.Int (geti "retries"));
+        ("degraded", Json.Int (geti "degraded"));
+        ("respawns", Json.Int (geti "respawns"));
+      ]
+  in
+  Json.Obj [ ("cache", cache); ("queue", queue); ("cluster", cluster) ]
+
+let goodbye_json t =
+  match stats_json t with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("totals", totals_json t) ])
+  | other -> other
+
 (* --- request handling --- *)
 
 let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
-  if Hashtbl.mem t.ids id then
+  let rid = next_rid t in
+  let finish_rejected ~key ~backend ~reason =
+    finish_request t ~rid ~id ~key ~backend ~outcome:"rejected" ~reason
+      ~queue_ticks:0 ~compute_ticks:0 ~worker_spans:[] ~latency:None ()
+  in
+  if Hashtbl.mem t.ids id then begin
+    finish_rejected ~key:"-" ~backend:"-" ~reason:"duplicate id";
     P.Rejected { op = "submit"; id; reason = "duplicate id" }
+  end
   else
     match resolve_job t ~flow ~overrides spec with
     | Error reason ->
       t.rejected <- t.rejected + 1;
+      finish_rejected ~key:"-" ~backend:"-" ~reason:"invalid spec";
       P.Rejected { op = "submit"; id; reason }
     | Ok job ->
       let hit =
@@ -298,6 +626,15 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
          Hashtbl.replace t.ids id ();
          t.submitted <- t.submitted + 1;
          Hashtbl.replace t.outcomes id (Done { key = job.key; payload });
+         let info =
+           { rid; submit_tick = t.tick; submit_wall = Unix.gettimeofday () }
+         in
+         Hashtbl.replace t.req_info id info;
+         finish_request t ~rid ~id ~key:(key_prefix job.key)
+           ~backend:(backend_name job) ~outcome:"hit" ~queue_ticks:0
+           ~compute_ticks:0 ~worker_spans:[]
+           ~latency:(Some (latency_units t info ~total_ticks:0))
+           ();
          P.Submitted { id; key = Cache_key.to_hex job.key }
        | None ->
          (match
@@ -306,6 +643,8 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
           | Job_queue.Refused reason ->
             t.rejected <- t.rejected + 1;
             Telemetry.incr ~cat:"serve" "rejected";
+            finish_rejected ~key:(key_prefix job.key)
+              ~backend:(backend_name job) ~reason:"queue full";
             P.Rejected { op = "submit"; id; reason }
           | admission ->
             (match admission with
@@ -315,10 +654,23 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
                Hashtbl.replace t.outcomes shed.id
                  (Shed
                     (Printf.sprintf
-                       "displaced by higher-priority submission %S" id))
+                       "displaced by higher-priority submission %S" id));
+               let sinfo = req_info_of t shed.id in
+               finish_request t ~rid:sinfo.rid ~id:shed.id
+                 ~key:(key_prefix shed.payload.key)
+                 ~backend:(backend_name shed.payload) ~outcome:"shed"
+                 ~reason:"displaced"
+                 ~queue_ticks:(max 0 (t.tick - sinfo.submit_tick))
+                 ~compute_ticks:0 ~worker_spans:[] ~latency:None ()
              | _ -> ());
             Hashtbl.replace t.ids id ();
             t.submitted <- t.submitted + 1;
+            Hashtbl.replace t.req_info id
+              {
+                rid;
+                submit_tick = t.tick;
+                submit_wall = Unix.gettimeofday ();
+              };
             Telemetry.gauge ~cat:"serve" "queue.depth"
               (float_of_int (Job_queue.length t.queue));
             while Job_queue.length t.queue >= t.cfg.batch do
@@ -328,7 +680,9 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
 
 let handle t req =
   match req with
-  | P.Submit { id; priority; deadline; flow; spec; overrides } ->
+  | P.Submit { id; priority; deadline; flow; spec; overrides; trace = _ } ->
+    (* the serving tier assigns its own request ids; inbound trace
+       context is only meaningful on the worker wire protocol *)
     handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides
   | P.Status id ->
     (match Hashtbl.find_opt t.outcomes id with
@@ -345,10 +699,12 @@ let handle t req =
     then drain_until t id;
     (match Hashtbl.find_opt t.outcomes id with
      | Some (Done { key; payload }) ->
-       P.Job_result { id; key = Cache_key.to_hex key; result = payload }
+       P.Job_result
+         { id; key = Cache_key.to_hex key; result = payload; spans = None }
      | Some (Shed reason) -> P.Rejected { op = "result"; id; reason }
      | None -> P.Bad_request { id = Some id; message = "unknown id" })
   | P.Stats -> P.Stats_reply (stats_json t)
+  | P.Stats_prom -> P.Stats_text (prometheus_stats t)
   | P.Shutdown ->
     t.stopping <- true;
     (* drain in-flight jobs so the final stats snapshot accounts for
@@ -356,7 +712,7 @@ let handle t req =
     while Job_queue.length t.queue > 0 do
       process_batch t
     done;
-    P.Goodbye (stats_json t)
+    P.Goodbye (goodbye_json t)
 
 let handle_line t line =
   let trimmed = String.trim line in

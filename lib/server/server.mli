@@ -41,6 +41,20 @@ type job = {
     can forward the job verbatim to an out-of-process worker which then
     re-resolves it against the same base config. *)
 
+type dispatch_result = {
+  d_payload : Mfb_util.Json.t;  (** the summary payload *)
+  d_slot : int option;  (** fleet slot that answered; [None] in-process *)
+  d_attempts : int;     (** dispatch attempts (1 = first try) *)
+  d_spans : Mfb_util.Telemetry.node list;
+      (** worker-side span forest shipped back in the reply; grafted
+          under the request's compute span in the merged trace *)
+}
+(** One batch job's answer plus its attribution.  The in-process runner
+    returns [{d_slot = None; d_attempts = 1; d_spans = []}], and the
+    access log only gains its optional ["fleet"] subobject when a slot
+    is present — which is what keeps the log byte-identical between
+    transports. *)
+
 type config = {
   jobs : int;            (** worker domains for batch synthesis *)
   cache_capacity : int;  (** LRU entries; [0] disables caching *)
@@ -48,21 +62,37 @@ type config = {
   batch : int;           (** max jobs dispatched per tick *)
   flow_config : Mfb_core.Config.t;
       (** base synthesis parameters; [submit] overrides apply on top *)
-  dispatch : (job list -> Mfb_util.Json.t list) option;
+  dispatch : (job list -> dispatch_result list) option;
       (** replacement batch runner (e.g. a worker fleet): deduplicated
-          jobs in dispatch order in, one summary payload per job in the
-          same order out.  Must be answer-equivalent to {!run_job} —
-          caching and counters assume payloads are a pure function of
-          the job.  [None] (the default) runs batches in-process. *)
+          jobs in dispatch order in, one result per job in the same
+          order out.  Payloads must be answer-equivalent to {!run_job} —
+          caching and counters assume they are a pure function of the
+          job.  [None] (the default) runs batches in-process. *)
   extra_stats : (unit -> (string * Mfb_util.Json.t) list) option;
       (** extra fields appended to {!stats_json} (e.g. fleet counters);
           [None] leaves the stats payload byte-identical to older
           servers. *)
+  extra_prometheus : (Buffer.t -> unit) option;
+      (** extra series appended to {!prometheus_stats} (e.g. per-slot
+          dispatch histograms). *)
+  clock : [ `Virtual | `Wall ];
+      (** latency-histogram units: [`Virtual] (default) observes batch
+          ticks — deterministic; [`Wall] observes wall milliseconds for
+          real benchmarking.  Queue-wait is always measured in ticks. *)
+  access_log : out_channel option;
+      (** when set, one JSONL record per finished request (id, cache key
+          prefix, backend, outcome, queue/compute/total latency, fleet
+          attribution), flushed per line, written in completion order —
+          a pure function of the request script under [`Virtual]. *)
+  slow_threshold : float option;
+      (** latency (in clock units) at or above which the access-log
+          record additionally embeds the request's full span tree. *)
 }
 
 val default_config : config
 (** [jobs = 1], 128 cache entries, queue depth 64, batch 8, paper
-    parameters, no dispatch hook, no extra stats. *)
+    parameters, no dispatch hook, no extra stats, virtual clock, no
+    access log. *)
 
 type t
 
@@ -79,9 +109,16 @@ val resolve :
 (** Resolve and validate a submission against [base] config — the same
     path the server takes, exposed so workers resolve identically. *)
 
-val run_job : job -> Mfb_util.Json.t
+val run_job :
+  ?trace:(string * Mfb_util.Telemetry.value) list ->
+  job ->
+  Mfb_util.Json.t
 (** Synthesise one job in-process ([jobs = 1]) and return its summary
-    payload.  Deterministic: equal jobs give byte-equal payloads. *)
+    payload.  Deterministic: equal jobs give byte-equal payloads.
+    [trace] wraps the computation in a [request] span carrying the
+    given args (request id, cache-key prefix) so per-request
+    attribution survives into worker-side traces; it never affects the
+    payload. *)
 
 val handle : t -> Protocol.request -> Protocol.response
 (** Process one request (advancing queue batches as needed).  [shutdown]
@@ -98,7 +135,24 @@ val shutting_down : t -> bool
 
 val stats_json : t -> Mfb_util.Json.t
 (** Tick count, submissions, computations, cache hit/miss/eviction,
-    queue occupancy, shed/rejection counters, and the server config. *)
+    queue occupancy, shed/rejection counters, rolling latency and
+    queue-wait histogram snapshots, and the server config. *)
+
+val prometheus_stats : t -> string
+(** Prometheus text exposition of the same counters plus the full
+    latency / queue-wait bucket series (and any [extra_prometheus]
+    series).  Answers {!Protocol.Stats_prom}. *)
+
+val current_tick : t -> int
+(** The virtual batch clock — one tick elapses per dispatched batch.
+    Exposed so a CLI can drive a tick-based telemetry sink clock. *)
+
+val latency_histogram : t -> Mfb_util.Histogram.t
+(** The rolling total-latency histogram (clock units: ticks under
+    [`Virtual], milliseconds under [`Wall]). *)
+
+val queue_wait_histogram : t -> Mfb_util.Histogram.t
+(** The rolling queue-wait histogram (always virtual ticks). *)
 
 val serve : ?input:in_channel -> ?output:out_channel -> t -> unit
 (** Run the line loop (default stdin/stdout) until [shutdown] or EOF,

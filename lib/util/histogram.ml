@@ -1,0 +1,200 @@
+(* Fixed-layout geometric histogram.  Every instance shares the same
+   bucket boundaries, so merging is plain array addition and quantile
+   estimates from merged histograms equal those from one histogram fed
+   the union of observations. *)
+
+let gamma = Float.pow 2.0 0.25
+
+let log_gamma = Float.log gamma
+
+(* Clamped index range: gamma^(-128) = 2^-32 ~ 2.3e-10 up to
+   gamma^176 = 2^44 ~ 1.8e13 — generous for ticks, microseconds and
+   milliseconds alike.  Indices are offset by [-lo] into the array. *)
+let lo = -128
+
+let hi = 175
+
+let n_buckets = hi - lo + 1
+
+type t = {
+  counts : int array; (* length n_buckets *)
+  mutable zero : int; (* observations <= 0 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    zero = 0;
+    count = 0;
+    sum = 0.0;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+  }
+
+let bucket_index v =
+  if v <= 0.0 then min_int
+  else
+    let k = int_of_float (Float.floor (Float.log v /. log_gamma)) in
+    if k < lo then lo else if k > hi then hi else k
+
+let upper_bound k = Float.exp (float_of_int (k + 1) *. log_gamma)
+
+let add t v =
+  if not (Float.is_nan v) then begin
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    match bucket_index v with
+    | k when k = min_int -> t.zero <- t.zero + 1
+    | k -> t.counts.(k - lo) <- t.counts.(k - lo) + 1
+  end
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+let merge a b =
+  let m = create () in
+  Array.iteri (fun i n -> m.counts.(i) <- n + b.counts.(i)) a.counts;
+  m.zero <- a.zero + b.zero;
+  m.count <- a.count + b.count;
+  m.sum <- a.sum +. b.sum;
+  m.min_v <- Float.min a.min_v b.min_v;
+  m.max_v <- Float.max a.max_v b.max_v;
+  m
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    if rank <= t.zero then 0.0
+    else begin
+      let cum = ref t.zero in
+      let res = ref (max_value t) in
+      (try
+         for i = 0 to n_buckets - 1 do
+           cum := !cum + t.counts.(i);
+           if !cum >= rank then begin
+             res := upper_bound (i + lo);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !res
+    end
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      acc := (upper_bound (i + lo), t.counts.(i)) :: !acc
+  done;
+  if t.zero > 0 then (0.0, t.zero) :: !acc else !acc
+
+(* %.17g keeps float round-trips exact; %g would lose bits of [sum]. *)
+let float_json v = Json.Float v
+
+let snapshot_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", float_json t.sum);
+      ("min", float_json (min_value t));
+      ("max", float_json (max_value t));
+      ("p50", float_json (quantile t 0.50));
+      ("p95", float_json (quantile t 0.95));
+      ("p99", float_json (quantile t 0.99));
+    ]
+
+let to_json t =
+  let sparse = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      sparse :=
+        Json.List [ Json.Int (i + lo); Json.Int t.counts.(i) ] :: !sparse
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", float_json t.sum);
+      ("min", float_json (min_value t));
+      ("max", float_json (max_value t));
+      ("zero", Json.Int t.zero);
+      ("buckets", Json.List !sparse);
+    ]
+
+let of_json j =
+  let ( let* ) = Stdlib.Result.bind in
+  let int_field k =
+    match Json.member k j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "histogram: missing int field %S" k)
+  in
+  let float_field k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "histogram: missing number field %S" k)
+  in
+  let* count = int_field "count" in
+  let* sum = float_field "sum" in
+  let* mn = float_field "min" in
+  let* mx = float_field "max" in
+  let* zero = int_field "zero" in
+  let t = create () in
+  t.count <- count;
+  t.sum <- sum;
+  t.zero <- zero;
+  if count > 0 then begin
+    t.min_v <- mn;
+    t.max_v <- mx
+  end;
+  match Json.member "buckets" j with
+  | Some (Json.List entries) ->
+    let rec fill = function
+      | [] -> Ok t
+      | Json.List [ Json.Int k; Json.Int n ] :: rest ->
+        if k < lo || k > hi || n < 0 then
+          Error (Printf.sprintf "histogram: bucket %d out of range" k)
+        else begin
+          t.counts.(k - lo) <- n;
+          fill rest
+        end
+      | _ -> Error "histogram: malformed bucket entry"
+    in
+    fill entries
+  | _ -> Error "histogram: missing \"buckets\" array"
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let prometheus ?help ~name buf t =
+  (match help with
+   | Some h -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h)
+   | None -> ());
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  List.iter
+    (fun (ub, n) ->
+      cum := !cum + n;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float ub) !cum))
+    (buckets t);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name t.count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (prom_float t.sum));
+  Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name t.count)

@@ -1,0 +1,71 @@
+(** Log-bucketed latency histogram: mergeable, bounded memory,
+    deterministic quantiles.
+
+    The serving tier's rolling-metric primitive.  Observations land in
+    geometric buckets with boundaries [gamma^k] where
+    [gamma = 2^(1/4)] (four buckets per octave, so any quantile
+    estimate is within one bucket — a factor of [gamma] ≈ 1.19 — of
+    the exact sample).  The bucket index range is clamped, so memory
+    is a fixed ~300-slot array per histogram regardless of how many
+    observations arrive, and two histograms with the same layout merge
+    by adding counts: merge is commutative and (up to float summation
+    of [sum]) associative, which is what lets per-slot and per-window
+    histograms roll up into fleet totals.
+
+    Non-positive observations land in a dedicated zero bucket whose
+    representative value is [0].  [count], [sum], [min] and [max] are
+    tracked exactly (not from buckets). *)
+
+type t
+
+val gamma : float
+(** Bucket growth factor, [2^(1/4)]. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation.  NaN is ignored. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** Exact smallest observation; [0.] when empty. *)
+
+val max_value : t -> float
+(** Exact largest observation; [0.] when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both sets of
+    observations; [a] and [b] are unchanged. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: the upper bound of the bucket
+    holding the rank-[ceil (q * count)] observation (rank at least 1),
+    i.e. an estimate [u] with [x <= u <= x * gamma^2] for the exact
+    quantile [x > 0].  [0.] when the histogram is empty or the rank
+    falls in the zero bucket. *)
+
+val bucket_index : float -> int
+(** The clamped bucket index a positive value lands in (exposed for
+    the property tests); non-positive values map to [min_int]. *)
+
+val buckets : t -> (float * int) list
+(** Occupied buckets in ascending order as [(upper_bound, count)];
+    the zero bucket reports upper bound [0.]. *)
+
+val snapshot_json : t -> Json.t
+(** Compact deterministic snapshot:
+    [{count; sum; min; max; p50; p95; p99}]. *)
+
+val to_json : t -> Json.t
+(** Full state including the sparse bucket list, suitable for
+    cross-process shipping; inverse of {!of_json}. *)
+
+val of_json : Json.t -> (t, string) result
+
+val prometheus :
+  ?help:string -> name:string -> Buffer.t -> t -> unit
+(** Append a Prometheus text-exposition histogram ([# TYPE .. histogram],
+    cumulative [_bucket{le="..."}] lines over the occupied buckets plus
+    [+Inf], then [_sum] and [_count]) to the buffer. *)

@@ -221,6 +221,162 @@ let in_worker ctx ~index f =
     in
     with_collector c (fun () -> span ~cat:"pool" "worker" f)
 
+(* --- request subtracks --- *)
+
+(* Scope and subtrack children use a high branch so they cannot collide
+   with pool task indices (which are dense from 0) under the same
+   parent. *)
+let scope_branch = 1_000_000
+
+type subtrack = collector
+
+let subtrack name =
+  if not (active ()) then None
+  else
+    match current () with
+    | None -> None
+    | Some parent ->
+      let branch = scope_branch + parent.next_scope in
+      parent.next_scope <- parent.next_scope + 1;
+      Some (new_collector parent.sink ~path:(parent.path @ [ branch ]) ~name)
+
+let on_subtrack st f =
+  match st with None -> f () | Some c -> with_collector c f
+
+let complete ?(cat = "span") ?(args = []) ~dur_us name =
+  if active () then
+    match current () with
+    | None -> ()
+    | Some c ->
+      emit c ~cat ~name ~ts_us:(now_us c) ~ph:(Complete dur_us)
+        ~depth:c.depth ~args
+
+(* --- span trees --- *)
+
+type node = {
+  n_name : string;
+  n_cat : string;
+  n_args : (string * value) list;
+  n_dur_us : float;
+  n_children : node list;
+}
+
+(* Spans close child-before-parent, so a forward walk over the
+   emission order sees a parent's whole subtree before the parent:
+   the pending suffix deeper than the parent is exactly its children
+   (already folded one level at a time). *)
+let forest_of_events evs =
+  let pending = ref [] (* (depth, node), emission order *) in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | Sample _ -> ()
+      | Complete _ | Instant ->
+        let dur = match e.ph with Complete d -> d | _ -> 0.0 in
+        let mine, rest =
+          List.partition (fun (d, _) -> d > e.depth) !pending
+        in
+        let node =
+          {
+            n_name = e.name;
+            n_cat = e.cat;
+            n_args = e.args;
+            n_dur_us = dur;
+            n_children = List.map snd mine;
+          }
+        in
+        pending := rest @ [ (e.depth, node) ])
+    evs;
+  List.map snd !pending
+
+let rec prune_depth limit n =
+  if limit <= 0 then { n with n_children = [] }
+  else { n with n_children = List.map (prune_depth (limit - 1)) n.n_children }
+
+let value_to_json_v = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let rec node_to_json n =
+  Json.Obj
+    ([ ("name", Json.String n.n_name); ("cat", Json.String n.n_cat);
+       ("dur_us", Json.Float n.n_dur_us) ]
+    @ (match n.n_args with
+       | [] -> []
+       | args ->
+         [ ("args",
+            Json.Obj (List.map (fun (k, v) -> (k, value_to_json_v v)) args)) ])
+    @ (match n.n_children with
+       | [] -> []
+       | cs -> [ ("children", Json.List (List.map node_to_json cs)) ]))
+
+let rec node_of_json j =
+  let ( let* ) = Stdlib.Result.bind in
+  let* n_name =
+    match Json.member "name" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "span node: missing string field \"name\""
+  in
+  let* n_cat =
+    match Json.member "cat" j with
+    | Some (Json.String s) -> Ok s
+    | None -> Ok "span"
+    | Some _ -> Error "span node: field \"cat\" must be a string"
+  in
+  let* n_dur_us =
+    match Json.member "dur_us" j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | None -> Ok 0.0
+    | Some _ -> Error "span node: field \"dur_us\" must be a number"
+  in
+  let* n_args =
+    match Json.member "args" j with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, Json.Int i) :: rest -> conv ((k, Int i) :: acc) rest
+        | (k, Json.Float f) :: rest -> conv ((k, Float f) :: acc) rest
+        | (k, Json.String s) :: rest -> conv ((k, Str s) :: acc) rest
+        | (k, Json.Bool b) :: rest -> conv ((k, Bool b) :: acc) rest
+        | (k, _) :: _ ->
+          Error (Printf.sprintf "span node: unsupported arg value for %S" k)
+      in
+      conv [] kvs
+    | Some _ -> Error "span node: field \"args\" must be an object"
+  in
+  let* n_children =
+    match Json.member "children" j with
+    | None -> Ok []
+    | Some (Json.List cs) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest ->
+          let* n = node_of_json c in
+          conv (n :: acc) rest
+      in
+      conv [] cs
+    | Some _ -> Error "span node: field \"children\" must be an array"
+  in
+  Ok { n_name; n_cat; n_args; n_dur_us; n_children }
+
+let emit_node n =
+  if active () then
+    match current () with
+    | None -> ()
+    | Some c ->
+      (* post-order: children close before their parent, as live spans
+         would have *)
+      let rec go rel n =
+        List.iter (go (rel + 1)) n.n_children;
+        emit c ~cat:n.n_cat ~name:n.n_name ~ts_us:(now_us c)
+          ~ph:(Complete n.n_dur_us) ~depth:(c.depth + rel) ~args:n.n_args
+      in
+      go 0 n
+
 (* --- deterministic merge --- *)
 
 let compare_path (a : int list) (b : int list) = compare a b
@@ -298,10 +454,6 @@ let merge_metrics cols =
       if c <> 0 then c else compare a.mname b.mname)
     !out
 
-(* Scope children use a high branch so they cannot collide with pool
-   task indices (which are dense from 0) under the same parent. *)
-let scope_branch = 1_000_000
-
 let with_scope name f =
   if not (active ()) then (f (), [])
   else
@@ -325,6 +477,71 @@ let with_scope name f =
 
 let events sink =
   List.concat_map (fun c -> List.rev c.events) (sorted_collectors sink)
+
+let spans ?max_depth sink =
+  let forest =
+    List.concat_map
+      (fun c -> forest_of_events (List.rev c.events))
+      (sorted_collectors sink)
+  in
+  match max_depth with
+  | None -> forest
+  | Some d -> List.map (prune_depth d) forest
+
+(* Folded stacks: every span contributes its exclusive time (clamped
+   to >= 1 µs so virtual-clock traces keep their shape) to the stack
+   formed by its collector's ancestry chain plus its span ancestry.
+   Aggregation and the final sort make the export a pure function of
+   the event tree, never of timing. *)
+let to_folded sink =
+  let cols = sorted_collectors sink in
+  let by_path = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace by_path c.path c.track_name) cols;
+  let sanitize s =
+    String.map (fun ch -> if ch = ';' || ch = '\n' then ':' else ch) s
+  in
+  let ancestry path name =
+    (* proper prefixes of [path] that name a collector, then [name] *)
+    let rec walk prefix acc = function
+      | [] | [ _ ] -> List.rev acc
+      | x :: rest ->
+        let prefix = prefix @ [ x ] in
+        let acc =
+          match Hashtbl.find_opt by_path prefix with
+          | Some n -> sanitize n :: acc
+          | None -> acc
+        in
+        walk prefix acc rest
+    in
+    walk [] [] path @ [ sanitize name ]
+  in
+  let acc = Hashtbl.create 64 in
+  let bump stack v =
+    let key = String.concat ";" stack in
+    match Hashtbl.find_opt acc key with
+    | Some r -> r := !r + v
+    | None -> Hashtbl.add acc key (ref v)
+  in
+  let rec fold_node stack n =
+    let stack = stack @ [ sanitize n.n_name ] in
+    let child_sum =
+      List.fold_left (fun s c -> s +. c.n_dur_us) 0.0 n.n_children
+    in
+    let exclusive =
+      max 1 (int_of_float (Float.round (n.n_dur_us -. child_sum)))
+    in
+    bump stack exclusive;
+    List.iter (fold_node stack) n.n_children
+  in
+  List.iter
+    (fun c ->
+      let prefix = ancestry c.path c.track_name in
+      List.iter (fold_node prefix) (forest_of_events (List.rev c.events)))
+    cols;
+  let lines =
+    Hashtbl.fold (fun k r l -> Printf.sprintf "%s %d\n" k !r :: l) acc []
+  in
+  String.concat "" (List.sort compare lines)
 
 let metrics sink = merge_metrics (sorted_collectors sink)
 

@@ -134,6 +134,73 @@ val with_scope : string -> (unit -> 'a) -> 'a * metric list
     created during [f] (e.g. pool tasks), merged in track order and
     sorted by (cat, name).  [(f (), [])] when telemetry is off. *)
 
+(** {1 Request subtracks}
+
+    The serving tier gives every accepted request its own child
+    collector — a {e subtrack} — so lifecycle events of concurrent
+    requests never interleave on one track and each request renders as
+    one row of the trace (one merged distributed trace per request). *)
+
+type subtrack
+(** A per-request child collector that outlives the call that created
+    it; emissions are routed onto it with {!on_subtrack}. *)
+
+val subtrack : string -> subtrack option
+(** [subtrack name] creates a child collector of the calling domain's
+    collector (branch-disjoint from pool task indices); [None] when
+    telemetry is off. *)
+
+val on_subtrack : subtrack option -> (unit -> 'a) -> 'a
+(** [on_subtrack st f] runs [f] with the subtrack as the current
+    collector, so {!span}/{!instant}/{!complete}/{!emit_node} land on
+    the request's track; identity when [st] is [None]. *)
+
+val complete :
+  ?cat:string -> ?args:(string * value) list -> dur_us:float -> string ->
+  unit
+(** Emit a closed span of the given duration at the current time
+    without running code under it — used to graft virtual-duration
+    phases (queue wait, batch compute) onto a request subtrack. *)
+
+(** {1 Span trees}
+
+    A [node] is one span (or instant, with [n_dur_us = 0]) plus its
+    children — the shippable form of a trace.  Workers export their
+    per-request sink as a node forest, the reply carries it as JSON,
+    and the supervisor re-emits it under the request's subtrack, so
+    the serving sink ends up holding one merged distributed trace. *)
+
+type node = {
+  n_name : string;
+  n_cat : string;
+  n_args : (string * value) list;
+  n_dur_us : float;
+  n_children : node list;
+}
+
+val spans : ?max_depth:int -> sink -> node list
+(** Reconstruct the span forest of [sink]: collectors in track order,
+    each collector's root spans in emission order.  [max_depth] prunes
+    children deeper than that many levels below a root (children of
+    pruned nodes are dropped, durations kept). *)
+
+val node_to_json : node -> Json.t
+val node_of_json : Json.t -> (node, string) result
+
+val emit_node : node -> unit
+(** Re-emit a node tree as Complete events on the current collector at
+    the current depth and timestamp (children first, parent last, as a
+    live run would have closed them).  No-op when telemetry is off. *)
+
+val to_folded : sink -> string
+(** Folded-stack export (flamegraph input): one
+    ["track;span;subspan value"] line per distinct stack, stacks
+    prefixed with the collector's ancestry chain of track names,
+    values the {e exclusive} span time in µs (clamped to at least 1 so
+    virtual-clock traces — where every duration is 0 — still render
+    their structure).  Lines are sorted, so the export is a pure
+    function of the event tree. *)
+
 (** {1 Export} *)
 
 val events : sink -> event list

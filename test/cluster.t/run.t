@@ -54,8 +54,50 @@ counted.
   $ ../../bin/dcsa_synth.exe serve --fleet 1 --fault-plan poison.json --max-retries 1 --worker-timeout 10 < script.txt | grep -Eq '"degraded":0[,}]' || echo degraded-nonzero
   degraded-nonzero
 
+The access log is transport-invariant: fleet runs add only the optional
+"fleet" attribution subobject (answering slot, retry count) to each
+dispatched record; stripping it recovers the in-process bytes exactly,
+even under the chaos schedule — retries and respawns live in the
+stripped subobject, never in the core fields.
+
+  $ ../../bin/dcsa_synth.exe serve --access-log base_acc.jsonl < script.txt > /dev/null
+  $ ../../bin/dcsa_synth.exe serve --fleet 2 --access-log fleet_acc.jsonl < script.txt > /dev/null
+  $ ../../bin/dcsa_synth.exe serve --fleet 2 --fault-plan plan.json --worker-timeout 10 --access-log chaos_acc.jsonl < script.txt > /dev/null
+  $ sed 's/,"fleet":{[^}]*}//' fleet_acc.jsonl > fleet_acc.stripped
+  $ sed 's/,"fleet":{[^}]*}//' chaos_acc.jsonl > chaos_acc.stripped
+  $ cmp base_acc.jsonl fleet_acc.stripped && cmp base_acc.jsonl chaos_acc.stripped && echo access-transport-invariant
+  access-transport-invariant
+  $ grep -c '"fleet":{"slot":' fleet_acc.jsonl
+  2
+  $ grep -Eq '"fleet":\{"slot":[0-9]+,"retries":[1-9]' chaos_acc.jsonl && echo chaos-retries-attributed
+  chaos-retries-attributed
+
+Per-slot fleet health (respawns, consecutive failures, last outcome, a
+reply-size histogram) rides in the stats snapshot, and the Prometheus
+exposition gains one reply-bytes series per slot.
+
+  $ grep -q '"slots":\[{"slot":0,' full.out && echo slot-health-present
+  slot-health-present
+  $ printf '{"op":"submit","id":"s0","benchmark":"PCR"}\n{"op":"result","id":"s0"}\n{"op":"stats","format":"prometheus"}\n' | ../../bin/dcsa_synth.exe serve --fleet 2 > prom_fleet.out
+  $ grep -o 'dcsa_slot0_reply_bytes_count 1' prom_fleet.out
+  dcsa_slot0_reply_bytes_count 1
+  $ grep -c 'TYPE dcsa_slot1_reply_bytes histogram' prom_fleet.out
+  1
+
 The worker subcommand itself speaks the protocol one line at a time.
 
   $ printf '{"op":"submit","id":"w0","benchmark":"PCR"}\n{"op":"shutdown"}\n' | ../../bin/dcsa_synth.exe worker --index 0
   {"ok":true,"op":"result","id":"w0","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
   {"ok":true,"op":"shutdown","stats":{"worker":0,"jobs":1}}
+
+A submit carrying trace context makes the worker run under a fresh
+per-request sink and ship its span tree back in the reply; with
+--vclock (which the serving tier passes under its virtual clock) the
+reply is byte-deterministic, spans included.
+
+  $ printf '{"op":"submit","id":"w1","benchmark":"PCR","trace":"t0"}\n' | ../../bin/dcsa_synth.exe worker --index 0 --vclock | grep -c '"spans":\['
+  1
+  $ printf '{"op":"submit","id":"w1","benchmark":"PCR","trace":"t0"}\n' | ../../bin/dcsa_synth.exe worker --index 0 --vclock > traced1.out
+  $ printf '{"op":"submit","id":"w1","benchmark":"PCR","trace":"t0"}\n' | ../../bin/dcsa_synth.exe worker --index 0 --vclock > traced2.out
+  $ cmp traced1.out traced2.out && echo traced-reply-deterministic
+  traced-reply-deterministic

@@ -18,7 +18,7 @@ computed=1 with one cache hit in the shutdown stats.
   {"ok":true,"op":"result","id":"r1","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
   {"ok":true,"op":"submit","id":"r2","key":"5a1cf9d38af9fd6b"}
   {"ok":true,"op":"result","id":"r2","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
-  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":2,"computed":1,"cache":{"capacity":128,"entries":1,"hits":1,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000}}}
+  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":2,"computed":1,"cache":{"capacity":128,"entries":1,"hits":1,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"latency":{"count":2,"sum":1.0,"min":0.0,"max":1.0,"p50":0.0,"p95":1.189207115,"p99":1.189207115},"queue_wait":{"count":1,"sum":0.0,"min":0.0,"max":0.0,"p50":0.0,"p95":0.0,"p99":0.0},"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000},"totals":{"cache":{"hits":1,"misses":1,"evictions":0},"queue":{"submitted":2,"computed":1,"shed":0,"rejected":0},"cluster":{"dispatched":0,"retries":0,"degraded":0,"respawns":0}}}}
 
 Inline assays are content-addressed structurally: the same graph spelled
 with different operation ids and line order maps to the same key.
@@ -30,7 +30,7 @@ with different operation ids and line order maps to the same key.
   > EOF
   {"ok":true,"op":"submit","id":"a1","key":"861b6d97128e9082"}
   {"ok":true,"op":"submit","id":"a2","key":"861b6d97128e9082"}
-  {"ok":true,"op":"stats","stats":{"tick":0,"submitted":2,"computed":0,"cache":{"capacity":128,"entries":0,"hits":0,"misses":2,"evictions":0},"queue":{"depth":64,"queued":2},"shed":{"deadline":0,"displaced":0},"rejected":0,"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000}}}
+  {"ok":true,"op":"stats","stats":{"tick":0,"submitted":2,"computed":0,"cache":{"capacity":128,"entries":0,"hits":0,"misses":2,"evictions":0},"queue":{"depth":64,"queued":2},"shed":{"deadline":0,"displaced":0},"rejected":0,"latency":{"count":0,"sum":0.0,"min":0.0,"max":0.0,"p50":0.0,"p95":0.0,"p99":0.0},"queue_wait":{"count":0,"sum":0.0,"min":0.0,"max":0.0,"p50":0.0,"p95":0.0,"p99":0.0},"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000}}}
 
 Admission control: with --queue-depth 1 the second submission is
 refused; a higher-priority third displaces the queued job, whose result
@@ -117,5 +117,87 @@ accounts for every accepted submission, and the server exits 0.
   exit: 0
   $ grep -o '"computed":2' drain.out
   "computed":2
+  "computed":2
   $ grep -o '"queue":{"depth":64,"queued":0}' drain.out
   "queue":{"depth":64,"queued":0}
+
+The structured access log writes one JSONL record per finished request:
+deterministic request ids, the cache-key prefix, the outcome, and
+virtual-tick latencies.  Under the virtual clock the log is a pure
+function of the request script, so the bytes are identical for every
+--jobs value.
+
+  $ ../../bin/dcsa_synth.exe serve --jobs 1 --batch 4 --access-log acc1.jsonl < script.txt > /dev/null
+  $ ../../bin/dcsa_synth.exe serve --jobs 2 --batch 4 --access-log acc2.jsonl < script.txt > /dev/null
+  $ ../../bin/dcsa_synth.exe serve --jobs 4 --batch 4 --access-log acc4.jsonl < script.txt > /dev/null
+  $ cmp acc1.jsonl acc2.jsonl && cmp acc1.jsonl acc4.jsonl && echo access-log-invariant
+  access-log-invariant
+  $ cat acc1.jsonl
+  {"rid":"r000004","id":"q3","key":"26e6b437","backend":"heuristic","outcome":"done","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":1}
+  {"rid":"r000001","id":"q0","key":"b4a9f080","backend":"heuristic","outcome":"done","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":1}
+  {"rid":"r000002","id":"q1","key":"563e1c0a","backend":"heuristic","outcome":"done","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":1}
+  {"rid":"r000003","id":"q2","key":"b4a9f080","backend":"heuristic","outcome":"done","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":1}
+  {"rid":"r000005","id":"q4","key":"563e1c0a","backend":"heuristic","outcome":"hit","queue_ticks":0,"compute_ticks":0,"total_ticks":0}
+  {"rid":"r000006","id":"q5","key":"b4a9f080","backend":"heuristic","outcome":"hit","queue_ticks":0,"compute_ticks":0,"total_ticks":0}
+
+The trace subcommand validates access logs (and reports the outcome
+mix):
+
+  $ ../../bin/dcsa_synth.exe trace acc1.jsonl
+  valid access log: 6 record(s) (4 done, 2 hit, 0 shed, 0 rejected)
+
+With --slow-ms, records at or above the threshold additionally embed the
+request's span tree; cache hits (0 ticks) stay lean.
+
+  $ ../../bin/dcsa_synth.exe serve --batch 4 --access-log slow.jsonl --slow-ms 1 < script.txt > /dev/null
+  $ grep -c '"spans":' slow.jsonl
+  4
+  $ grep '"outcome":"hit"' slow.jsonl | grep -c '"spans":'
+  0
+  [1]
+  $ ../../bin/dcsa_synth.exe trace slow.jsonl
+  valid access log: 6 record(s) (4 done, 2 hit, 0 shed, 0 rejected)
+
+Rolling SLO metrics are also served as a Prometheus text exposition:
+
+  $ ../../bin/dcsa_synth.exe serve <<'EOF' > prom.out
+  > {"op":"submit","id":"p1","benchmark":"PCR"}
+  > {"op":"result","id":"p1"}
+  > {"op":"stats","format":"prometheus"}
+  > EOF
+  $ grep -c '"ok":true,"op":"stats","format":"prometheus"' prom.out
+  1
+  $ grep -o 'dcsa_submitted_total 1' prom.out
+  dcsa_submitted_total 1
+  $ grep -o 'dcsa_request_latency_count 1' prom.out
+  dcsa_request_latency_count 1
+  $ grep -o '# TYPE dcsa_request_latency histogram' prom.out
+  # TYPE dcsa_request_latency histogram
+
+Request-scoped tracing: --trace and --folded record every request as one
+merged span tree (queue wait + compute) on its own track, timed by the
+server's virtual tick, and export it on shutdown.  Both artifacts are
+deterministic and self-validating.
+
+  $ ../../bin/dcsa_synth.exe serve --batch 4 --trace serve_trace.json --folded serve.folded < script.txt > /dev/null
+  wrote serve_trace.json
+  wrote serve.folded
+  $ ../../bin/dcsa_synth.exe trace serve_trace.json
+  valid Chrome trace: 44 span(s), 294 counter sample(s), 0 instant(s) on 13 track(s)
+  categories: place, route, schedule, scope, serve, stage, task
+  $ ../../bin/dcsa_synth.exe trace serve.folded
+  valid folded stacks: 38 stack(s), 44 unit(s) total
+
+Malformed observability artifacts are reported line by line:
+
+  $ printf 'a;b 3\nnospace\nc; 0\n' > bad.folded
+  $ ../../bin/dcsa_synth.exe trace bad.folded
+  bad.folded:2: expected 'stack value' (no space found)
+  bad.folded:3: span value must be >= 1
+  dcsa-synth: 2 malformed line(s), first: bad.folded:2: expected 'stack value' (no space found)
+  [124]
+  $ printf '{"rid":"r1"}\n' > bad.jsonl
+  $ ../../bin/dcsa_synth.exe trace --format access bad.jsonl
+  bad.jsonl:1: missing or mistyped field(s): id, key, backend, outcome, queue_ticks, compute_ticks, total_ticks
+  dcsa-synth: 1 malformed line(s), first: bad.jsonl:1: missing or mistyped field(s): id, key, backend, outcome, queue_ticks, compute_ticks, total_ticks
+  [124]

@@ -114,6 +114,7 @@ let submit_line ?seed ?(id = "j0") bench =
          flow = `Ours;
          spec = P.Benchmark bench;
          overrides = { P.no_overrides with P.o_seed = seed };
+         trace = None;
        })
 
 let expected_result_line ?seed ?(id = "j0") bench =
@@ -124,6 +125,7 @@ let expected_result_line ?seed ?(id = "j0") bench =
          id;
          key = Mfb_server.Cache_key.to_hex job.Server.key;
          result = Server.run_job job;
+         spans = None;
        })
 
 let test_worker_answers_submit () =
@@ -307,12 +309,12 @@ let with_cluster ?plan ?(size = 2) ?(timeout = 10.0) ?(max_retries = 2) f =
       Option.iter Sys.remove plan_file)
     (fun () -> f cluster)
 
-let check_payloads name jobs payloads =
+let check_payloads name jobs results =
   let expected = List.map Server.run_job jobs in
   Alcotest.(check (list string))
     name
     (List.map Json.to_string expected)
-    (List.map Json.to_string payloads)
+    (List.map (fun r -> Json.to_string r.Server.d_payload) results)
 
 let test_cluster_clean_dispatch () =
   let jobs = [ resolve "PCR"; resolve "IVD"; resolve ~seed:7 "PCR" ] in
@@ -393,8 +395,55 @@ let test_cluster_stats_json_shape () =
           (fun k ->
             Alcotest.(check bool) ("has " ^ k) true (List.mem_assoc k fields))
           [ "fleet"; "respawns"; "dispatched"; "retries"; "degraded";
-            "crashes"; "timeouts"; "garbage"; "heartbeat_failures" ]
+            "crashes"; "timeouts"; "garbage"; "heartbeat_failures"; "slots" ];
+        (match List.assoc "slots" fields with
+         | Json.List [ Json.Obj slot ] ->
+           List.iter
+             (fun k ->
+               Alcotest.(check bool) ("slot has " ^ k) true
+                 (List.mem_assoc k slot))
+             [ "slot"; "respawns"; "consecutive_failures"; "ok";
+               "last_outcome"; "reply_bytes" ];
+           Alcotest.(check bool) "slot 0 answered" true
+             (List.assoc "last_outcome" slot = Json.String "ok")
+         | _ -> Alcotest.fail "slots must be a one-element list")
       | _ -> Alcotest.fail "stats_json must be an object")
+
+let test_cluster_ships_worker_spans () =
+  (* With a sink installed on the supervisor side, every dispatched job
+     asks its worker to trace; the reply carries the worker's span tree
+     and the dispatch result records the answering slot. *)
+  let jobs = [ resolve "PCR"; resolve ~seed:5 "IVD" ] in
+  Test_util.with_fake_sink (fun _sink ->
+      with_cluster ~size:1 (fun cluster ->
+          let results = Cluster.dispatch cluster jobs in
+          Alcotest.(check int) "one result per job" 2 (List.length results);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "answering slot recorded" true
+                (r.Server.d_slot = Some 0);
+              Alcotest.(check int) "first attempt" 1 r.Server.d_attempts;
+              (* the worker's forest holds the request root plus any
+                 pool-domain collectors its flow run spawned *)
+              match
+                List.find_opt
+                  (fun n -> n.Telemetry.n_name = "request")
+                  r.Server.d_spans
+              with
+              | Some root ->
+                Alcotest.(check bool) "span args carry trace ctx" true
+                  (List.mem_assoc "ctx" root.Telemetry.n_args)
+              | None ->
+                Alcotest.failf "no request root among %d worker spans"
+                  (List.length r.Server.d_spans))
+            results));
+  (* without a sink the wire carries no trace and no spans come back *)
+  with_cluster ~size:1 (fun cluster ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "no spans without a sink" true
+            (r.Server.d_spans = []))
+        (Cluster.dispatch cluster jobs))
 
 (* --- the qcheck byte-identity property --- *)
 
@@ -417,10 +466,12 @@ let qtest_cluster =
       in
       Test_util.with_fake_sink (fun sink ->
           with_cluster ~plan ~timeout:5.0 (fun cluster ->
-              let payloads = Cluster.dispatch cluster jobs in
+              let results = Cluster.dispatch cluster jobs in
               let expected = List.map Server.run_job jobs in
               let identical =
-                List.map Json.to_string payloads
+                List.map
+                  (fun r -> Json.to_string r.Server.d_payload)
+                  results
                 = List.map Json.to_string expected
               in
               let s = Cluster.stats cluster in
@@ -491,6 +542,8 @@ let suites =
           test_cluster_total_poisoning_degrades;
         Alcotest.test_case "stats json shape" `Quick
           test_cluster_stats_json_shape;
+        Alcotest.test_case "worker spans ship back under a sink" `Quick
+          test_cluster_ships_worker_spans;
         qtest_cluster;
       ] );
   ]

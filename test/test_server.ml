@@ -247,6 +247,7 @@ let sample_requests =
         flow = `Ours;
         spec = P.Benchmark "PCR";
         overrides = P.no_overrides;
+        trace = None;
       };
     P.Submit
       {
@@ -256,6 +257,7 @@ let sample_requests =
         flow = `Ba;
         spec = P.Assay { text = base_assay; alloc = Some (2, 1, 0, 1) };
         overrides = { P.no_overrides with o_seed = Some 9; o_tc = Some 1.5; o_sa_restarts = Some 2 };
+        trace = Some "w0";
       };
     P.Submit
       {
@@ -267,10 +269,12 @@ let sample_requests =
         overrides =
           { P.no_overrides with
             o_backend = Some Mfb_schedule.Portfolio.Portfolio };
+        trace = None;
       };
     P.Status "r1";
     P.Result "r2";
     P.Stats;
+    P.Stats_prom;
     P.Shutdown;
   ]
 
@@ -280,7 +284,12 @@ let sample_responses =
     P.Rejected { op = "submit"; id = "r9"; reason = "queue full" };
     P.Job_status { id = "r1"; state = "queued" };
     P.Job_result
-      { id = "r2"; key = "00ff00ff00ff00ff"; result = Json.Obj [ ("x", Json.Int 1) ] };
+      { id = "r2"; key = "00ff00ff00ff00ff"; result = Json.Obj [ ("x", Json.Int 1) ];
+        spans = None };
+    P.Job_result
+      { id = "r4"; key = "00ff00ff00ff00ff"; result = Json.Obj [ ("x", Json.Int 1) ];
+        spans = Some (Json.List [ Json.Obj [ ("name", Json.String "request") ] ]) };
+    P.Stats_text "# HELP dcsa_tick virtual tick\n";
     P.Stats_reply (Json.Obj [ ("submitted", Json.Int 3) ]);
     P.Goodbye Json.Null;
     P.Bad_request { id = None; message = "not json" };
@@ -323,16 +332,19 @@ let test_protocol_malformed () =
 (* --- server behaviour --- *)
 
 let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) ?dispatch
-    ?extra_stats () =
+    ?extra_stats ?access_log ?slow_threshold () =
   Server.create
     {
-      Server.jobs;
+      Server.default_config with
+      jobs;
       cache_capacity = cache;
       queue_depth = depth;
       batch;
       flow_config = Config.default;
       dispatch;
       extra_stats;
+      access_log;
+      slow_threshold;
     }
 
 let call_exn client req =
@@ -349,6 +361,7 @@ let submit ?(priority = 0) ?deadline ?(seed = None) ~id spec =
       flow = `Ours;
       spec;
       overrides = { P.no_overrides with P.o_seed = seed };
+      trace = None;
     }
 
 let pcr = P.Benchmark "PCR"
@@ -400,6 +413,7 @@ let test_server_backend_cache_not_shared () =
         flow = `Ours;
         spec = pcr;
         overrides = { P.no_overrides with o_backend };
+        trace = None;
       }
   in
   let key id req =
@@ -648,7 +662,15 @@ let test_dispatch_hook_is_answer_transparent () =
   let calls = ref 0 in
   let dispatch jobs =
     incr calls;
-    List.map Server.run_job jobs
+    List.map
+      (fun job ->
+        {
+          Server.d_payload = Server.run_job job;
+          d_slot = Some 0;
+          d_attempts = 1;
+          d_spans = [];
+        })
+      jobs
   in
   let lines =
     List.map P.request_to_line
@@ -680,6 +702,137 @@ let test_extra_stats_appended () =
     Alcotest.(check bool) "absent by default" true
       (Json.member "cluster" stats = None)
   | r -> Alcotest.failf "stats: %s" (P.response_to_line r)
+
+(* --- observability: access log, prometheus exposition, goodbye totals --- *)
+
+let with_access_log ?slow_threshold ~jobs lines =
+  let path = Filename.temp_file "access" ".jsonl" in
+  let oc = open_out path in
+  let s = server ~jobs ~batch:4 ~access_log:oc ?slow_threshold () in
+  let responses = List.filter_map (Server.handle_line s) lines in
+  ignore (Server.handle s P.Shutdown);
+  close_out oc;
+  let log = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  (responses, log)
+
+let obs_script =
+  List.map P.request_to_line
+    [
+      submit ~id:"a" ~seed:(Some 1) pcr;
+      submit ~id:"b" ~seed:(Some 2) pcr;
+      submit ~id:"c" ~seed:(Some 1) pcr;
+      (* duplicate id: rejected, still logged *)
+      submit ~id:"a" ~seed:(Some 3) pcr;
+      P.Result "a"; P.Result "b"; P.Result "c";
+    ]
+
+let test_access_log_deterministic_across_jobs () =
+  let r1, log1 = with_access_log ~jobs:1 obs_script in
+  let r2, log2 = with_access_log ~jobs:2 obs_script in
+  Alcotest.(check (list string)) "responses jobs=1 = jobs=2" r1 r2;
+  Alcotest.(check string) "access log bytes jobs=1 = jobs=2" log1 log2;
+  let lines = String.split_on_char '\n' (String.trim log1) in
+  Alcotest.(check int) "one record per submit" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok doc ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              (Printf.sprintf "field %s present" k)
+              true
+              (Json.member k doc <> None))
+          [ "rid"; "id"; "key"; "backend"; "outcome"; "queue_ticks";
+            "compute_ticks"; "total_ticks" ]
+      | Error e -> Alcotest.failf "access record not JSON (%s): %s" e line)
+    lines
+
+let test_access_log_slow_spans () =
+  (* threshold 0: every request is "slow", so every computed/hit record
+     embeds its span tree; rejected records never do *)
+  let _, log = with_access_log ~slow_threshold:0.0 ~jobs:1 obs_script in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok doc ->
+        let outcome = Json.member "outcome" doc in
+        let has_spans = Json.member "spans" doc <> None in
+        if outcome = Some (Json.String "rejected") then
+          Alcotest.(check bool) "rejected: no spans" false has_spans
+        else Alcotest.(check bool) "slow record has spans" true has_spans
+      | Error e -> Alcotest.failf "access record not JSON: %s" e)
+    (String.split_on_char '\n' (String.trim log))
+
+let test_prometheus_exposition () =
+  let s = server () in
+  let c = Client.in_process s in
+  ignore (call_exn c (submit ~id:"a" pcr));
+  ignore (call_exn c (P.Result "a"));
+  ignore (call_exn c (submit ~id:"b" pcr));
+  ignore (call_exn c (P.Result "b"));
+  match call_exn c P.Stats_prom with
+  | P.Stats_text text ->
+    List.iter
+      (fun sub ->
+        Alcotest.(check bool) (Printf.sprintf "contains %S" sub) true
+          (let n = String.length sub in
+           let rec scan i =
+             i + n <= String.length text
+             && (String.sub text i n = sub || scan (i + 1))
+           in
+           scan 0))
+      [
+        "# TYPE dcsa_submitted_total counter";
+        "dcsa_submitted_total 2";
+        "dcsa_cache_hits_total 1";
+        "dcsa_request_latency_bucket{le=\"+Inf\"} 2";
+        "dcsa_request_latency_count 2";
+        "dcsa_queue_wait_ticks_count 1";
+      ]
+  | r -> Alcotest.failf "stats_prom: %s" (P.response_to_line r)
+
+let test_goodbye_totals () =
+  let s = server () in
+  let c = Client.in_process s in
+  ignore (call_exn c (submit ~id:"a" pcr));
+  ignore (call_exn c (P.Result "a"));
+  ignore (call_exn c (submit ~id:"b" pcr));
+  match call_exn c P.Shutdown with
+  | P.Goodbye stats ->
+    let totals =
+      match Json.member "totals" stats with
+      | Some t -> t
+      | None -> Alcotest.fail "goodbye missing totals"
+    in
+    let get path =
+      List.fold_left
+        (fun j k -> Option.bind j (Json.member k))
+        (Some totals) path
+    in
+    Alcotest.(check bool) "cache hits total" true
+      (get [ "cache"; "hits" ] = Some (Json.Int 1));
+    Alcotest.(check bool) "queue submitted total" true
+      (get [ "queue"; "submitted" ] = Some (Json.Int 2));
+    Alcotest.(check bool) "cluster dispatched total" true
+      (get [ "cluster"; "dispatched" ] = Some (Json.Int 0))
+  | r -> Alcotest.failf "shutdown: %s" (P.response_to_line r)
+
+let test_latency_histogram_tracks_requests () =
+  let s = server () in
+  let c = Client.in_process s in
+  ignore (call_exn c (submit ~id:"a" pcr));
+  ignore (call_exn c (P.Result "a"));
+  ignore (call_exn c (submit ~id:"b" pcr));
+  ignore (call_exn c (P.Result "b"));
+  let h = Server.latency_histogram s in
+  Alcotest.(check int) "two latencies" 2 (Mfb_util.Histogram.count h);
+  (* virtual clock: the cache hit costs 0 ticks, the compute at least 1 *)
+  Alcotest.(check (float 1e-9)) "min latency 0 ticks (hit)" 0.0
+    (Mfb_util.Histogram.min_value h);
+  Alcotest.(check bool) "max latency >= 1 tick (compute)" true
+    (Mfb_util.Histogram.max_value h >= 1.0)
 
 (* --- determinism: cold jobs=1 ≡ warm ≡ jobs=2, enforced by qcheck --- *)
 
@@ -774,6 +927,15 @@ let suites =
           test_dispatch_hook_is_answer_transparent;
         Alcotest.test_case "extra stats appended" `Quick
           test_extra_stats_appended;
+        Alcotest.test_case "access log deterministic across jobs" `Quick
+          test_access_log_deterministic_across_jobs;
+        Alcotest.test_case "slow requests embed spans in the access log" `Quick
+          test_access_log_slow_spans;
+        Alcotest.test_case "prometheus exposition" `Quick
+          test_prometheus_exposition;
+        Alcotest.test_case "goodbye carries totals" `Quick test_goodbye_totals;
+        Alcotest.test_case "latency histogram tracks requests" `Quick
+          test_latency_histogram_tracks_requests;
         prop_server_responses_invariant;
       ] );
   ]

@@ -799,6 +799,182 @@ let prop_lru_matches_model =
       && Lru.keys_mru_first c = List.map fst !model
       && List.for_all (fun (k, v) -> Lru.find c k = Some v) !model)
 
+(* --- Histogram --- *)
+
+module Histogram = Mfb_util.Histogram
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) values;
+  h
+
+let test_histogram_basics () =
+  let h = hist_of [ 1.0; 2.0; 4.0; 0.0; -3.0 ] in
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  check_float "sum" 4.0 (Histogram.sum h);
+  check_float "min" (-3.0) (Histogram.min_value h);
+  check_float "max" 4.0 (Histogram.max_value h);
+  let empty = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count empty);
+  check_float "empty quantile" 0.0 (Histogram.quantile empty 0.5);
+  Alcotest.(check bool) "nan ignored" true
+    (let h = Histogram.create () in
+     Histogram.add h Float.nan;
+     Histogram.count h = 0)
+
+let test_histogram_json_roundtrip () =
+  let h = hist_of [ 0.5; 1.0; 1.0; 7.25; 1000.0; 0.0 ] in
+  match Histogram.of_json (Histogram.to_json h) with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok h' ->
+    Alcotest.(check int) "count" (Histogram.count h) (Histogram.count h');
+    check_float "sum" (Histogram.sum h) (Histogram.sum h');
+    check_float "min" (Histogram.min_value h) (Histogram.min_value h');
+    check_float "max" (Histogram.max_value h) (Histogram.max_value h');
+    Alcotest.(check bool) "buckets" true
+      (Histogram.buckets h = Histogram.buckets h')
+
+let test_histogram_prometheus_shape () =
+  let h = hist_of [ 1.0; 2.0; 2.0 ] in
+  let buf = Buffer.create 256 in
+  Histogram.prometheus ~help:"test series" ~name:"t_lat" buf h;
+  let text = Buffer.contents buf in
+  let contains sub =
+    let n = String.length sub in
+    let rec scan i =
+      i + n <= String.length text
+      && (String.sub text i n = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" sub) true
+        (contains sub))
+    [ "# HELP t_lat test series"; "# TYPE t_lat histogram";
+      "t_lat_bucket{le=\"+Inf\"} 3"; "t_lat_count 3"; "t_lat_sum 5" ]
+
+(* Positive-skewed observation generator: mixes magnitudes across many
+   octaves, plus zeros and sub-1 values, so the clamped index range and
+   the zero bucket both get exercised. *)
+let obs_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (oneof
+         [ float_range 0.0 3.0;
+           float_range 0.0 1e6;
+           return 0.0;
+           float_range 1e-9 1e-3 ]))
+
+let prop_histogram_merge_associative =
+  qtest ~count:100 "merge is associative and order-blind"
+    QCheck2.Gen.(triple obs_gen obs_gen obs_gen)
+    (fun (a, b, c) ->
+      let open Histogram in
+      let ha () = hist_of a and hb () = hist_of b and hc () = hist_of c in
+      let left = merge (merge (ha ()) (hb ())) (hc ())
+      and right = merge (ha ()) (merge (hb ()) (hc ()))
+      and flat = hist_of (a @ b @ c) in
+      let close x y = Float.abs (x -. y) <= 1e-6 *. (1.0 +. Float.abs x) in
+      let same x y =
+        count x = count y
+        && buckets x = buckets y
+        && close (sum x) (sum y)
+        && min_value x = min_value y
+        && max_value x = max_value y
+      in
+      same left right && same left flat)
+
+let prop_histogram_quantile_bound =
+  qtest ~count:100 "quantile within one bucket of exact"
+    QCheck2.Gen.(pair obs_gen (float_range 0.01 1.0))
+    (fun (values, q) ->
+      values = []
+      ||
+      let h = hist_of values in
+      let sorted = List.sort compare values in
+      let rank =
+        max 1 (int_of_float (ceil (q *. float_of_int (List.length values))))
+      in
+      let exact = List.nth sorted (rank - 1) in
+      let u = Histogram.quantile h q in
+      if exact <= 0.0 then u = 0.0
+      else
+        let eps = 1e-9 *. exact in
+        u +. eps >= exact
+        && u <= (exact *. Histogram.gamma *. Histogram.gamma) +. eps)
+
+(* --- Telemetry span trees and folded stacks --- *)
+
+let test_telemetry_node_roundtrip () =
+  with_fake_sink (fun sink ->
+      Telemetry.span ~cat:"t" ~args:[ ("k", Telemetry.Int 3) ] "outer"
+        (fun () ->
+          Telemetry.span ~cat:"t" "inner" (fun () -> ()));
+      match Telemetry.spans sink with
+      | [ root ] ->
+        Alcotest.(check string) "root name" "outer" root.Telemetry.n_name;
+        (match root.Telemetry.n_children with
+         | [ child ] ->
+           Alcotest.(check string) "child name" "inner"
+             child.Telemetry.n_name
+         | l -> Alcotest.failf "expected 1 child, got %d" (List.length l));
+        (match Telemetry.node_of_json (Telemetry.node_to_json root) with
+         | Ok root' ->
+           Alcotest.(check bool) "json round trip" true (root = root')
+         | Error e -> Alcotest.failf "node_of_json: %s" e)
+      | forest ->
+        Alcotest.failf "expected 1 root, got %d" (List.length forest))
+
+let test_telemetry_emit_node_regrafts () =
+  (* A node shipped across a process boundary re-emits onto a live sink
+     and comes back out of [spans] structurally unchanged. *)
+  with_fake_sink (fun sink1 ->
+      Telemetry.span "a" (fun () -> Telemetry.span "b" (fun () -> ()));
+      match Telemetry.spans sink1 with
+      | [ root ] ->
+        Telemetry.uninstall ();
+        with_fake_sink (fun sink2 ->
+            Telemetry.emit_node root;
+            match Telemetry.spans sink2 with
+            | [ root' ] ->
+              Alcotest.(check string) "name survives" root.Telemetry.n_name
+                root'.Telemetry.n_name;
+              Alcotest.(check int) "children survive"
+                (List.length root.Telemetry.n_children)
+                (List.length root'.Telemetry.n_children)
+            | f -> Alcotest.failf "regraft: %d roots" (List.length f))
+      | f -> Alcotest.failf "expected 1 root, got %d" (List.length f))
+
+let test_telemetry_to_folded () =
+  with_fake_sink (fun sink ->
+      Telemetry.span "outer" (fun () ->
+          Telemetry.span "inner" (fun () -> ()));
+      let folded = Telemetry.to_folded sink in
+      let lines =
+        List.filter (fun l -> l <> "")
+          (String.split_on_char '\n' folded)
+      in
+      Alcotest.(check int) "one line per stack" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "no value separator: %s" line
+          | Some i ->
+            let v =
+              int_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            Alcotest.(check bool) "positive integer value" true
+              (match v with Some n -> n >= 1 | None -> false))
+        lines;
+      (* stacks are rooted at the collector's track name *)
+      Alcotest.(check bool) "inner nested under outer" true
+        (List.exists
+           (fun l ->
+             String.length l > 16 && String.sub l 0 16 = "main;outer;inner")
+           lines))
+
 let suites =
   [
     ( "util.pqueue",
@@ -899,5 +1075,21 @@ let suites =
           test_telemetry_merge_jobs_invariant;
         Alcotest.test_case "chrome export" `Quick test_telemetry_chrome_export;
         Alcotest.test_case "jsonl export" `Quick test_telemetry_jsonl;
+        Alcotest.test_case "span-tree node round trip" `Quick
+          test_telemetry_node_roundtrip;
+        Alcotest.test_case "emit_node regrafts a shipped tree" `Quick
+          test_telemetry_emit_node_regrafts;
+        Alcotest.test_case "folded flamegraph export" `Quick
+          test_telemetry_to_folded;
+      ] );
+    ( "util.histogram",
+      [
+        Alcotest.test_case "basics" `Quick test_histogram_basics;
+        Alcotest.test_case "json round trip" `Quick
+          test_histogram_json_roundtrip;
+        Alcotest.test_case "prometheus shape" `Quick
+          test_histogram_prometheus_shape;
+        prop_histogram_merge_associative;
+        prop_histogram_quantile_bound;
       ] );
   ]
