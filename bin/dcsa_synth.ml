@@ -999,14 +999,53 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "wall-clock" ] ~doc)
   in
+  let tcp_arg =
+    let doc =
+      "Serve the line protocol on TCP port $(docv) instead of \
+       stdin/stdout: one event loop, many concurrent client \
+       connections, request lines handled in global arrival order so \
+       responses, access-log bytes and cache behaviour match the stdio \
+       path exactly.  Port 0 binds an ephemeral port (pair with \
+       --port-file)."
+    in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~doc ~docv:"PORT")
+  in
+  let port_file_arg =
+    let doc =
+      "With --tcp, write the bound port number to $(docv) once \
+       listening — the startup handshake for scripts using --tcp 0."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "port-file" ] ~doc ~docv:"FILE")
+  in
+  let max_conns_arg =
+    let doc =
+      "With --tcp, accept at most $(docv) simultaneous connections; \
+       further connectors wait in the kernel backlog."
+    in
+    Arg.(value & opt positive_int 64 & info [ "max-conns" ] ~doc ~docv:"N")
+  in
+  let shard_arg =
+    let doc =
+      "Route each job to the consistent-hash owner of its cache key \
+       among the fleet slots (a placement preference: the owner wins \
+       when live and free, any worker otherwise — answers are \
+       byte-identical either way).  Defaults to enabled under --tcp \
+       with a fleet, disabled otherwise."
+    in
+    Arg.(value & opt (some bool) None & info [ "shard" ] ~doc ~docv:"BOOL")
+  in
   let action jobs cache_size no_cache queue_depth batch fleet fault_plan
       worker_timeout max_retries worker_bin access_log slow_ms trace folded
-      wall_clock tc seed sa_restarts backend exact_fuel =
+      wall_clock tcp port_file max_conns shard tc seed sa_restarts backend
+      exact_fuel =
     if cache_size < 0 then
       `Error (false, "--cache-size must be non-negative")
     else if fleet < 0 then `Error (false, "--fleet must be non-negative")
     else if max_retries < 0 then
       `Error (false, "--max-retries must be non-negative")
+    else if (match tcp with Some p -> p < 0 || p > 65535 | None -> false)
+    then `Error (false, "--tcp expects a port in 0..65535")
     else begin
       let access_oc = Option.map open_out access_log in
       let base_cfg =
@@ -1021,6 +1060,22 @@ let serve_cmd =
           access_log = access_oc;
           slow_threshold = slow_ms;
         }
+      in
+      (* Same server, two transports: the stdio loop, or the select
+         loop multiplexing many connections through it. *)
+      let run_server server =
+        match tcp with
+        | None -> Mfb_server.Server.serve server
+        | Some port ->
+          let lcfg =
+            {
+              Mfb_net.Listener.default_config with
+              port;
+              max_conns;
+              port_file;
+            }
+          in
+          ignore (Mfb_net.Listener.run lcfg server)
       in
       (* The sink's clock reads the server's virtual tick, so every
          span timestamp — including worker spans grafted after the
@@ -1060,7 +1115,7 @@ let serve_cmd =
                Telemetry.uninstall ()
              | None -> ());
             match access_oc with Some oc -> close_out oc | None -> ())
-          (fun () -> Mfb_server.Server.serve server)
+          (fun () -> run_server server)
       in
       if fleet = 0 then begin
         serve_with (Mfb_server.Server.create base_cfg);
@@ -1085,12 +1140,29 @@ let serve_cmd =
                | None -> []
                | Some path -> [ "--fault-plan"; path ]))
         in
+        (* Sharded routing keeps each worker's cache/compute partition
+           stable; default on for the network tier, off on the stdio
+           path (where the slot-order scan is the documented layout). *)
+        let route =
+          let enabled =
+            match shard with Some b -> b | None -> tcp <> None
+          in
+          if not enabled then None
+          else begin
+            let ring = Mfb_net.Shard.create ~slots:fleet () in
+            Some
+              (fun (job : Mfb_server.Server.job) ->
+                Some
+                  (Mfb_net.Shard.slot_of_key ring job.Mfb_server.Server.key))
+          end
+        in
         let cluster =
           Mfb_cluster.Cluster.create
             {
               (Mfb_cluster.Cluster.default_config ~worker_argv ~size:fleet) with
               timeout = worker_timeout;
               max_retries;
+              route;
             }
         in
         let cfg =
@@ -1128,8 +1200,90 @@ let serve_cmd =
        $ queue_depth_arg $ batch_arg $ fleet_arg $ fault_plan_arg
        $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg
        $ access_log_arg $ slow_ms_arg $ serve_trace_arg $ serve_folded_arg
-       $ wall_clock_arg $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg
-       $ exact_fuel_arg))
+       $ wall_clock_arg $ tcp_arg $ port_file_arg $ max_conns_arg $ shard_arg
+       $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
+
+(* --- client --- *)
+
+let client_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~doc:"Server address." ~docv:"HOST")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~doc:"Server TCP port." ~docv:"PORT")
+  in
+  let port_file_arg =
+    let doc =
+      "Poll $(docv) for the server's port (written by 'serve --tcp 0 \
+       --port-file') instead of naming it with --port."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "port-file" ] ~doc ~docv:"FILE")
+  in
+  let timeout_arg =
+    let doc = "How long to wait for --port-file to appear, seconds." in
+    Arg.(
+      value & opt float 30.0 & info [ "connect-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let action host port port_file timeout =
+    let port =
+      match (port, port_file) with
+      | Some p, _ -> Ok p
+      | None, Some f -> Mfb_net.Tcp_client.wait_port_file ~timeout f
+      | None, None -> Error "one of --port or --port-file is required"
+    in
+    match port with
+    | Error e -> `Error (false, e)
+    | Ok port ->
+      (match Mfb_net.Tcp_client.connect_fd ~host ~port () with
+       | exception Unix.Unix_error (e, _, _) ->
+         `Error
+           ( false,
+             Printf.sprintf "connect %s:%d: %s" host port
+               (Unix.error_message e) )
+       | fd ->
+         let to_srv = Unix.out_channel_of_descr fd in
+         let from_srv = Unix.in_channel_of_descr fd in
+         (* Lockstep: the server answers every non-blank, non-comment
+            line with exactly one line, so a plain read-per-write loop
+            is the whole protocol. *)
+         let rec loop () =
+           match In_channel.input_line stdin with
+           | None -> `Ok ()
+           | Some line ->
+             let trimmed = String.trim line in
+             if trimmed = "" || trimmed.[0] = '#' then loop ()
+             else begin
+               match
+                 output_string to_srv line;
+                 output_char to_srv '\n';
+                 flush to_srv;
+                 In_channel.input_line from_srv
+               with
+               | Some resp ->
+                 print_endline resp;
+                 loop ()
+               | None | (exception Sys_error _) ->
+                 `Error (false, "connection closed by server")
+             end
+         in
+         let result = loop () in
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         result)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Connect to a 'serve --tcp' listener and relay line-JSON \
+          requests from stdin, one response line to stdout per request \
+          — the stdio serve experience over a socket.")
+    Term.(
+      ret (const action $ host_arg $ port_arg $ port_file_arg $ timeout_arg))
 
 let () =
   let doc =
@@ -1141,4 +1295,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; synth_cmd; explore_cmd; info_cmd;
-            control_cmd; dot_cmd; trace_cmd; serve_cmd; worker_cmd ]))
+            control_cmd; dot_cmd; trace_cmd; serve_cmd; worker_cmd;
+            client_cmd ]))

@@ -12,6 +12,7 @@ type config = {
   max_retries : int;
   backoff_cap : int;
   heartbeat : bool;
+  route : (Server.job -> int option) option;
 }
 
 let default_config ~worker_argv ~size =
@@ -23,6 +24,7 @@ let default_config ~worker_argv ~size =
     max_retries = Dispatcher.default_config.Dispatcher.max_retries;
     backoff_cap = 8;
     heartbeat = Dispatcher.default_config.Dispatcher.heartbeat;
+    route = None;
   }
 
 type t = {
@@ -90,7 +92,7 @@ let dispatch t jobs =
       heartbeat = t.cfg.heartbeat;
     }
   in
-  Dispatcher.run_batch ~cfg:dcfg ~sup:t.sup ~stats:t.dstats
+  Dispatcher.run_batch ?route:t.cfg.route ~cfg:dcfg ~sup:t.sup ~stats:t.dstats
     ~degrade:(fun job ->
       (Server.run_job ~trace:[ ("degraded", Telemetry.Bool true) ] job, []))
     ~to_line:job_to_line ~of_line:(payload_of_line t) jobs
@@ -133,19 +135,19 @@ let stats_json t =
       ("timeouts", Json.Int d.Dispatcher.timeouts);
       ("garbage", Json.Int d.Dispatcher.garbage);
       ("heartbeat_failures", Json.Int d.Dispatcher.heartbeat_failures);
+      ("routed", Json.Int d.Dispatcher.routed);
       ("slots", slots_json t);
     ]
 
-(* Per-slot reply-size series for the server's Prometheus exposition.
-   Slots are distinct metric names (not labels) because the exposition
-   helper renders one histogram per name. *)
+(* Per-slot reply-size series for the server's Prometheus exposition:
+   one metric name, one escaped slot label value per fleet member, so
+   scrapers can aggregate across the fleet or facet by slot. *)
 let prometheus t buf =
   Array.iteri
     (fun i h ->
-      Histogram.prometheus
-        ~help:(Printf.sprintf "reply line bytes from fleet slot %d" i)
-        ~name:(Printf.sprintf "dcsa_slot%d_reply_bytes" i)
-        buf h)
+      Histogram.prometheus ~help:"reply line bytes from fleet slots"
+        ~labels:[ ("slot", string_of_int i) ]
+        ~header:(i = 0) ~name:"dcsa_fleet_reply_bytes" buf h)
     t.slot_bytes
 
 let stop t =

@@ -38,11 +38,15 @@ type config = {
   max_retries : int;                 (** extra attempts before degrading *)
   backoff_cap : int;                 (** max respawn backoff, ticks *)
   heartbeat : bool;                  (** ping workers at batch start *)
+  route : (Mfb_server.Server.job -> int option) option;
+      (** preferred slot per job (e.g. the consistent-hash owner of its
+          cache key); a placement preference, never a correctness
+          condition — see {!Dispatcher.run_batch} *)
 }
 
 val default_config : worker_argv:(int -> string array) -> size:int -> config
 (** {!Dispatcher.default_config} deadlines, retries 2, backoff cap 8,
-    heartbeat on. *)
+    heartbeat on, no route. *)
 
 type t
 
@@ -63,14 +67,15 @@ val respawns : t -> int
 
 val stats_json : t -> Mfb_util.Json.t
 (** Fleet size plus respawn / spawn-failure / retry / degradation /
-    crash / timeout / garbage / heartbeat counters, and a ["slots"]
-    array of per-slot health: respawns, consecutive failures, dispatch
-    successes, last outcome, and a reply-size histogram snapshot. *)
+    crash / timeout / garbage / heartbeat / routed counters, and a
+    ["slots"] array of per-slot health: respawns, consecutive failures,
+    dispatch successes, last outcome, and a reply-size histogram
+    snapshot. *)
 
 val prometheus : t -> Buffer.t -> unit
 (** Append the per-slot reply-size histograms to a Prometheus text
-    exposition (one [dcsa_slot<i>_reply_bytes] series per slot) — wire
-    this as the server's [extra_prometheus]. *)
+    exposition: one [dcsa_fleet_reply_bytes] metric with a [slot] label
+    per fleet member — wire this as the server's [extra_prometheus]. *)
 
 val stop : t -> unit
 (** Kill and reap every worker.  Idempotent. *)

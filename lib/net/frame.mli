@@ -1,0 +1,48 @@
+(** Incremental bounded line framing for socket buffers.
+
+    {!Mfb_server.Protocol.input_line_bounded} reads whole lines from a
+    blocking [in_channel]; a socket event loop instead receives
+    arbitrary byte chunks and must carve the same frames out of them
+    without ever blocking.  This module is that reader, state-machine
+    style, with identical semantics:
+
+    - a frame is one newline-terminated line, newline stripped;
+    - a line whose payload exceeds [max_bytes] (default
+      {!Mfb_server.Protocol.default_max_line_bytes}, 1 MiB) is consumed
+      {e whole} — the stream resynchronises at the next newline — and
+      surfaces as [Oversized] carrying its full byte length, so the
+      caller can answer with a structured error and keep serving;
+    - a partial line pending when the peer closes is surfaced as a final
+      [Line] rather than dropped.
+
+    Feed raw chunks with {!feed} (or signal EOF with {!close}), then
+    drain completed frames with {!next}.  Memory is bounded: at most
+    [max_bytes] of the current partial line are retained, the rest of an
+    oversized line is counted and discarded as it streams in. *)
+
+type t
+
+type event =
+  | Line of string      (** complete line, newline stripped *)
+  | Oversized of int    (** line over the cap; full byte length *)
+
+val create : ?max_bytes:int -> unit -> t
+
+val feed : t -> string -> unit
+(** Append a received chunk.  @raise Invalid_argument after {!close}. *)
+
+val feed_bytes : t -> bytes -> int -> unit
+(** [feed_bytes t chunk n] appends the first [n] bytes of [chunk] —
+    the natural shape after a [Unix.read]. *)
+
+val close : t -> unit
+(** Signal EOF: a pending partial line becomes a final frame.
+    Idempotent. *)
+
+val next : t -> event option
+(** Pop the next completed frame, oldest first; [None] when every fed
+    byte has been consumed or is part of a still-incomplete line. *)
+
+val buffered : t -> int
+(** Bytes of the current incomplete line held in memory (bounded by
+    [max_bytes]); diagnostic only. *)

@@ -1,0 +1,20 @@
+(** TCP transport for the synthesis-service client.
+
+    Connects to a {!Listener} and returns an ordinary
+    {!Mfb_server.Client.t}, so call sites are transport-agnostic: the
+    same submit/result/stats/shutdown round-trips work in-process, over
+    a spawned child's pipes, or over a socket. *)
+
+val connect : ?host:string -> port:int -> unit -> Mfb_server.Client.t
+(** Blocking connect to [host] (default ["127.0.0.1"]).
+    @raise Unix.Unix_error (e.g. [ECONNREFUSED]) when the listener is
+    not there. *)
+
+val connect_fd : ?host:string -> port:int -> unit -> Unix.file_descr
+(** The raw connected socket, for callers running their own event loop
+    (the multi-client load generator). *)
+
+val wait_port_file : ?timeout:float -> string -> (int, string) result
+(** Poll a {!Listener} [port_file] until it holds a port number —
+    the handshake for scripts that start [serve --tcp 0] in the
+    background.  [timeout] defaults to 30 s. *)

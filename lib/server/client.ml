@@ -1,10 +1,14 @@
 type transport =
   | In_process of Server.t
   | Process of { pid : int; to_srv : out_channel; from_srv : in_channel }
+  | Channels of { to_srv : out_channel; from_srv : in_channel }
 
 type t = { transport : transport }
 
 let in_process server = { transport = In_process server }
+
+let of_channels ~input ~output =
+  { transport = Channels { to_srv = output; from_srv = input } }
 
 let spawn argv =
   if Array.length argv = 0 then invalid_arg "Client.spawn: empty argv";
@@ -25,19 +29,27 @@ let spawn argv =
         };
   }
 
+let line_call ~to_srv ~from_srv req =
+  match
+    output_string to_srv (Protocol.request_to_line req);
+    output_char to_srv '\n';
+    flush to_srv
+  with
+  | () ->
+    (match In_channel.input_line from_srv with
+     | Some line -> Protocol.response_of_line line
+     | None -> Error "server closed the connection")
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
 let call t req =
   match t.transport with
   | In_process server ->
     (match Server.handle_line server (Protocol.request_to_line req) with
      | Some line -> Protocol.response_of_line line
      | None -> Error "server produced no response")
-  | Process p ->
-    output_string p.to_srv (Protocol.request_to_line req);
-    output_char p.to_srv '\n';
-    flush p.to_srv;
-    (match In_channel.input_line p.from_srv with
-     | Some line -> Protocol.response_of_line line
-     | None -> Error "server closed the connection")
+  | Process { to_srv; from_srv; _ } -> line_call ~to_srv ~from_srv req
+  | Channels { to_srv; from_srv } -> line_call ~to_srv ~from_srv req
 
 let shutdown t =
   let resp = call t Protocol.Shutdown in
@@ -46,5 +58,8 @@ let shutdown t =
    | Process p ->
      close_out_noerr p.to_srv;
      close_in_noerr p.from_srv;
-     (try ignore (Unix.waitpid [] p.pid) with Unix.Unix_error _ -> ()));
+     (try ignore (Unix.waitpid [] p.pid) with Unix.Unix_error _ -> ())
+   | Channels c ->
+     close_out_noerr c.to_srv;
+     close_in_noerr c.from_srv);
   resp

@@ -7,15 +7,22 @@
       use;
     - {!spawn} forks a real [dcsa_synth serve] process and speaks the
       line protocol over its stdin/stdout, which is what the CI smoke
-      test exercises.
+      test exercises;
+    - {!of_channels} speaks the line protocol over arbitrary channels —
+      the transport a TCP socket connection wraps
+      ({!Mfb_net.Tcp_client}).
 
-    Both are synchronous: {!call} sends one request and blocks for its
+    All are synchronous: {!call} sends one request and blocks for its
     response. *)
 
 type t
 
 val in_process : Server.t -> t
 (** Wrap a server living in this process. *)
+
+val of_channels : input:in_channel -> output:out_channel -> t
+(** Speak the line protocol over an existing channel pair (e.g. the two
+    faces of a connected socket).  {!shutdown} closes both. *)
 
 val spawn : string array -> t
 (** [spawn [| prog; arg; … |]] starts [prog] with its stdin/stdout piped

@@ -548,6 +548,10 @@ let prometheus_stats t =
   Histogram.prometheus ~help:"queue wait (virtual ticks)"
     ~name:"dcsa_queue_wait_ticks" buf t.h_queue_wait;
   (match t.cfg.extra_prometheus with None -> () | Some f -> f buf);
+  (* scrapers require the body to end in a newline; guard against an
+     extra_prometheus hook that forgot its terminator *)
+  if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n'
+  then Buffer.add_char buf '\n';
   Buffer.contents buf
 
 (* Shutdown audit record: authoritative counter totals, independent of
@@ -731,15 +735,29 @@ let handle_line t line =
     Some (P.response_to_line response)
 
 let serve ?(input = stdin) ?(output = stdout) t =
+  (* A client that closes its read end between request and reply must
+     surface as EPIPE on our write, never as a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* true once the reply channel is gone: the dropped reply is logged
+     and the loop stops — the work itself (cache fills, counters, access
+     log) has already happened and is kept. *)
+  let output_dead = ref false in
   let respond = function
     | None -> ()
     | Some resp ->
-      output_string output resp;
-      output_char output '\n';
-      flush output
+      (try
+         output_string output resp;
+         output_char output '\n';
+         flush output
+       with Sys_error _ | Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+         output_dead := true;
+         Printf.eprintf
+           "dcsa-serve: client disconnected; dropped reply (%d bytes)\n%!"
+           (String.length resp + 1))
   in
   let rec loop () =
-    if not t.stopping then
+    if not (t.stopping || !output_dead) then
       match P.input_line_bounded input with
       | P.Eof -> ()
       | P.Line line ->

@@ -181,20 +181,59 @@ let prom_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.12g" v
 
-let prometheus ?help ~name buf t =
-  (match help with
-   | Some h -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h)
-   | None -> ());
-  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+(* Prometheus text-exposition escaping: label values escape backslash,
+   double-quote and newline; HELP text escapes backslash and newline.
+   Without this a label value holding a quote (or a help text holding a
+   newline) splits a series line and the whole scrape fails to parse. *)
+let escape_with ~quote s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label s = escape_with ~quote:true s
+let escape_help s = escape_with ~quote:false s
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+           labels)
+    ^ "}"
+
+let prometheus ?help ?(labels = []) ?(header = true) ~name buf t =
+  if header then begin
+    (match help with
+     | Some h ->
+       Buffer.add_string buf
+         (Printf.sprintf "# HELP %s %s\n" name (escape_help h))
+     | None -> ());
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name)
+  end;
+  let fixed = render_labels labels in
+  let bucket_labels ub =
+    render_labels (labels @ [ ("le", ub) ])
+  in
   let cum = ref 0 in
   List.iter
     (fun (ub, n) ->
       cum := !cum + n;
       Buffer.add_string buf
-        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_float ub) !cum))
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (bucket_labels (prom_float ub))
+           !cum))
     (buckets t);
   Buffer.add_string buf
-    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name t.count);
+    (Printf.sprintf "%s_bucket%s %d\n" name (bucket_labels "+Inf") t.count);
   Buffer.add_string buf
-    (Printf.sprintf "%s_sum %s\n" name (prom_float t.sum));
-  Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name t.count)
+    (Printf.sprintf "%s_sum%s %s\n" name fixed (prom_float t.sum));
+  Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name fixed t.count)

@@ -65,7 +65,30 @@ val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result
 
 val prometheus :
-  ?help:string -> name:string -> Buffer.t -> t -> unit
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?header:bool ->
+  name:string ->
+  Buffer.t ->
+  t ->
+  unit
 (** Append a Prometheus text-exposition histogram ([# TYPE .. histogram],
     cumulative [_bucket{le="..."}] lines over the occupied buckets plus
-    [+Inf], then [_sum] and [_count]) to the buffer. *)
+    [+Inf], then [_sum] and [_count]) to the buffer.  [labels] are
+    rendered on every series line (merged with [le] on buckets) with
+    their values escaped per the exposition format, so one metric name
+    can carry per-slot series ([slot="3"]) that scrapers aggregate;
+    [help] is escaped likewise.  [header] (default true) controls the
+    [# HELP]/[# TYPE] preamble — pass [false] when appending further
+    label permutations of a metric name already introduced, since the
+    exposition format allows the preamble only once per name.  Every
+    emitted line is newline-terminated. *)
+
+val escape_label : string -> string
+(** Escape a label value for the Prometheus text exposition format:
+    backslash, double-quote and newline become backslash-escaped
+    two-character sequences. *)
+
+val escape_help : string -> string
+(** Escape a [# HELP] text: backslash and newline become
+    backslash-escaped two-character sequences. *)

@@ -74,14 +74,17 @@ stripped subobject, never in the core fields.
 
 Per-slot fleet health (respawns, consecutive failures, last outcome, a
 reply-size histogram) rides in the stats snapshot, and the Prometheus
-exposition gains one reply-bytes series per slot.
+exposition carries one dcsa_fleet_reply_bytes series per slot, faceted
+by an escaped slot label under a single HELP/TYPE preamble.
 
   $ grep -q '"slots":\[{"slot":0,' full.out && echo slot-health-present
   slot-health-present
   $ printf '{"op":"submit","id":"s0","benchmark":"PCR"}\n{"op":"result","id":"s0"}\n{"op":"stats","format":"prometheus"}\n' | ../../bin/dcsa_synth.exe serve --fleet 2 > prom_fleet.out
-  $ grep -o 'dcsa_slot0_reply_bytes_count 1' prom_fleet.out
-  dcsa_slot0_reply_bytes_count 1
-  $ grep -c 'TYPE dcsa_slot1_reply_bytes histogram' prom_fleet.out
+  $ grep -o 'dcsa_fleet_reply_bytes_count{slot=..0..} 1' prom_fleet.out
+  dcsa_fleet_reply_bytes_count{slot=\"0\"} 1
+  $ grep -o 'dcsa_fleet_reply_bytes_count{slot=..1..} 0' prom_fleet.out
+  dcsa_fleet_reply_bytes_count{slot=\"1\"} 0
+  $ grep -c 'TYPE dcsa_fleet_reply_bytes histogram' prom_fleet.out
   1
 
 The worker subcommand itself speaks the protocol one line at a time.

@@ -1,0 +1,57 @@
+The TCP serving tier speaks the identical line protocol over sockets.
+A background listener on an ephemeral port (--tcp 0) writes its bound
+port to a file once listening; the client subcommand picks it up,
+relays stdin request lines and prints one reply line each.  The reply
+bytes match the stdio transcripts in serve.t exactly: same keys, same
+payloads, same structured errors.
+
+  $ ../../bin/dcsa_synth.exe serve --tcp 0 --port-file port --max-conns 8 2>serve.err &
+  $ SERVE_PID=$!
+
+  $ ../../bin/dcsa_synth.exe client --port-file port <<'EOF'
+  > {"op":"submit","id":"r1","benchmark":"PCR"}
+  > {"op":"result","id":"r1"}
+  > EOF
+  {"ok":true,"op":"submit","id":"r1","key":"5a1cf9d38af9fd6b"}
+  {"ok":true,"op":"result","id":"r1","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+
+A second connection shares the cache: resubmitting the same benchmark
+under a new id is answered with the same key and byte-identical
+payload, and the final stats count one computation for two submissions.
+
+  $ ../../bin/dcsa_synth.exe client --port-file port <<'EOF'
+  > {"op":"submit","id":"r2","benchmark":"PCR"}
+  > {"op":"result","id":"r2"}
+  > EOF
+  {"ok":true,"op":"submit","id":"r2","key":"5a1cf9d38af9fd6b"}
+  {"ok":true,"op":"result","id":"r2","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
+
+Oversized frames get the same structured reply as the stdio path, and
+the connection resyncs at the next newline — the stats request after
+the huge line is answered normally.
+
+  $ { head -c 1100000 /dev/zero | tr '\0' 'a'; echo; printf '{"op":"stats"}\n'; } \
+  >   | ../../bin/dcsa_synth.exe client --port-file port \
+  >   | sed -e 's/\("submitted":[0-9]*\).*/\1/' -e 's/\("message":"[^"]*"\).*/\1/'
+  {"ok":false,"op":"error","message":"input line too long: 1100000 bytes exceeds the 1048576-byte limit"
+  {"ok":true,"op":"stats","stats":{"tick":1,"submitted":2
+
+A shutdown from any client drains and stops the listener; its Goodbye
+carries the shared totals.
+
+  $ ../../bin/dcsa_synth.exe client --port-file port <<'EOF'
+  > {"op":"shutdown"}
+  > EOF
+  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":2,"computed":1,"cache":{"capacity":128,"entries":1,"hits":1,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"latency":{"count":2,"sum":1.0,"min":0.0,"max":1.0,"p50":0.0,"p95":1.189207115,"p99":1.189207115},"queue_wait":{"count":1,"sum":0.0,"min":0.0,"max":0.0,"p50":0.0,"p95":0.0,"p99":0.0},"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000},"totals":{"cache":{"hits":1,"misses":1,"evictions":0},"queue":{"submitted":2,"computed":1,"shed":0,"rejected":0},"cluster":{"dispatched":0,"retries":0,"degraded":0,"respawns":0}}}}
+
+  $ wait $SERVE_PID
+
+The stdio path is untouched by the TCP tier: no --tcp flag, no socket,
+bytes as in serve.t.
+
+  $ ../../bin/dcsa_synth.exe serve <<'EOF'
+  > {"op":"submit","id":"s1","benchmark":"PCR"}
+  > {"op":"result","id":"s1"}
+  > EOF
+  {"ok":true,"op":"submit","id":"s1","key":"5a1cf9d38af9fd6b"}
+  {"ok":true,"op":"result","id":"s1","key":"5a1cf9d38af9fd6b","result":{"benchmark":"PCR","flow":"ours","execution_time_s":22.2,"utilization":0.829800388624,"channel_length_mm":70.0,"channel_cache_time_s":0.0,"channel_wash_time_s":0.0,"component_wash_time_s":9.12061034012}}
