@@ -907,6 +907,15 @@ let serve_cmd =
       & info [ "no-cache" ]
           ~doc:"Disable the result cache (same as --cache-size 0).")
   in
+  let repair_cache_arg =
+    let doc =
+      "Full synthesis results retained for warm-start repair requests, \
+       most-recently-used first; 0 disables retention, so every repair \
+       re-synthesises cold.  The repair report bytes are identical \
+       either way — only latency differs."
+    in
+    Arg.(value & opt int 8 & info [ "repair-cache" ] ~doc ~docv:"N")
+  in
   let queue_depth_arg =
     let doc =
       "Admission-control bound: at most $(docv) jobs may wait in the queue; \
@@ -1035,12 +1044,14 @@ let serve_cmd =
     in
     Arg.(value & opt (some bool) None & info [ "shard" ] ~doc ~docv:"BOOL")
   in
-  let action jobs cache_size no_cache queue_depth batch fleet fault_plan
-      worker_timeout max_retries worker_bin access_log slow_ms trace folded
-      wall_clock tcp port_file max_conns shard tc seed sa_restarts backend
-      exact_fuel =
+  let action jobs cache_size no_cache repair_cache queue_depth batch fleet
+      fault_plan worker_timeout max_retries worker_bin access_log slow_ms
+      trace folded wall_clock tcp port_file max_conns shard tc seed
+      sa_restarts backend exact_fuel =
     if cache_size < 0 then
       `Error (false, "--cache-size must be non-negative")
+    else if repair_cache < 0 then
+      `Error (false, "--repair-cache must be non-negative")
     else if fleet < 0 then `Error (false, "--fleet must be non-negative")
     else if max_retries < 0 then
       `Error (false, "--max-retries must be non-negative")
@@ -1053,6 +1064,7 @@ let serve_cmd =
           Mfb_server.Server.default_config with
           jobs;
           cache_capacity = (if no_cache then 0 else cache_size);
+          repair_cache;
           queue_depth;
           batch;
           flow_config = config_of ~sa_restarts ~backend ~exact_fuel tc seed;
@@ -1197,11 +1209,211 @@ let serve_cmd =
     Term.(
       ret
         (const action $ serve_jobs_arg $ cache_size_arg $ no_cache_arg
-       $ queue_depth_arg $ batch_arg $ fleet_arg $ fault_plan_arg
+       $ repair_cache_arg $ queue_depth_arg $ batch_arg $ fleet_arg
+       $ fault_plan_arg
        $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg
        $ access_log_arg $ slow_ms_arg $ serve_trace_arg $ serve_folded_arg
        $ wall_clock_arg $ tcp_arg $ port_file_arg $ max_conns_arg $ shard_arg
        $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg))
+
+(* --- repair --- *)
+
+let repair_cmd =
+  let module Defect = Mfb_repair.Defect in
+  let module Plan = Mfb_repair.Plan in
+  let defect_arg =
+    let doc = "Defective channel cell $(docv) (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "defect" ] ~doc ~docv:"X,Y")
+  in
+  let component_arg =
+    let doc = "Dead component site $(docv) (repeatable)." in
+    Arg.(value & opt_all int [] & info [ "dead-component" ] ~doc ~docv:"ID")
+  in
+  let plan_arg =
+    let doc =
+      "Load the defect plan from JSON $(docv) (see lib/repair/defect.mli \
+       for the format; the chip-fault analogue of serve's --fault-plan)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "defect-plan" ] ~doc ~docv:"FILE")
+  in
+  let model_arg =
+    let doc =
+      "Seeded defect model: 'single' (one channel cell), 'cluster' (a \
+       Manhattan-radius debris field), 'progressive' (cells failing on \
+       consecutive virtual ticks) or 'component' (one dead component \
+       site).  The plan is a pure function of (--defect-seed, chip)."
+    in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("single", `Single); ("cluster", `Cluster);
+                  ("progressive", `Progressive); ("component", `Component) ]))
+          None
+      & info [ "defect-model" ] ~doc ~docv:"MODEL")
+  in
+  let dseed_arg =
+    let doc = "Seed of the defect model." in
+    Arg.(value & opt int 0 & info [ "defect-seed" ] ~doc ~docv:"N")
+  in
+  let radius_arg =
+    let doc = "Manhattan radius of the 'cluster' model." in
+    Arg.(value & opt int 1 & info [ "radius" ] ~doc ~docv:"R")
+  in
+  let count_arg =
+    let doc = "Cells failed by the 'progressive' model." in
+    Arg.(value & opt positive_int 3 & info [ "count" ] ~doc ~docv:"N")
+  in
+  let tick_arg =
+    let doc =
+      "Repair only the defects visible at virtual tick $(docv) (default: \
+       the whole plan)."
+    in
+    Arg.(value & opt (some int) None & info [ "tick" ] ~doc ~docv:"T")
+  in
+  let save_plan_arg =
+    let doc = "Write the resolved defect plan to JSON $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "save-plan" ] ~doc ~docv:"FILE")
+  in
+  let parse_cell s =
+    match List.map int_of_string_opt (String.split_on_char ',' s) with
+    | [ Some x; Some y ] -> Ok (x, y)
+    | _ -> Error (Printf.sprintf "cannot parse defect cell %S (want X,Y)" s)
+  in
+  let print_report (r : Plan.report) ~json =
+    if json then
+      print_endline
+        (Mfb_util.Json.to_string ~indent:2 (Plan.report_to_json r))
+    else begin
+      Printf.printf "defects:   %s\n"
+        (String.concat " " (List.map Defect.target_to_string r.targets));
+      Printf.printf "rung:      %s\n"
+        (match r.rung with None -> "none (nothing affected)"
+                         | Some rung -> Plan.rung_name rung);
+      Printf.printf
+        "ripped up %d  rerouted %d (%d delayed)  rebound %d  fallbacks %d  \
+         failed %d\n"
+        r.ripped_up (r.rerouted + r.rerouted_delayed) r.rerouted_delayed
+        r.rebound r.fallbacks r.failed;
+      Printf.printf "makespan:  %.2f -> %.2f s (%+.2f)\n" r.makespan_before
+        r.makespan_after
+        (r.makespan_after -. r.makespan_before);
+      Printf.printf "survived:  %s\n" (if r.survived then "yes" else "no")
+    end
+  in
+  let action verbose benchmark input alloc tc seed sa_restarts backend
+      exact_fuel jobs cells components plan_file model dseed radius count
+      tick save_plan json trace folded metrics =
+    setup_logs verbose;
+    match resolve_instance ~benchmark ~input ~alloc with
+    | Error msg -> `Error (false, msg)
+    | Ok inst ->
+      let config = config_of ~sa_restarts ~backend ~exact_fuel tc seed in
+      let explicit_plan () =
+        let parsed =
+          List.fold_left
+            (fun acc s ->
+              match (acc, parse_cell s) with
+              | Error _, _ -> acc
+              | Ok _, Error e -> Error e
+              | Ok l, Ok c ->
+                Ok ({ Defect.tick = 0; target = Defect.Cell c } :: l))
+            (Ok []) cells
+        in
+        Stdlib.Result.map
+          (fun l ->
+            List.rev l
+            @ List.map
+                (fun i -> { Defect.tick = 0; target = Defect.Component i })
+                components)
+          parsed
+      in
+      let outcome =
+        with_telemetry ~verbose ~trace ?folded ~metrics (fun () ->
+            let r = run_one ~jobs ~config ~flow:`Ours inst in
+            (* the seeded models draw from the synthesized chip, so the
+               plan can only be resolved after synthesis *)
+            let plan =
+              match (plan_file, model) with
+              | Some _, Some _ ->
+                Error "use either --defect-plan or --defect-model, not both"
+              | Some path, None -> Defect.of_file path
+              | None, Some m ->
+                if cells <> [] || components <> [] then
+                  Error
+                    "--defect-model replaces --defect/--dead-component; \
+                     use one or the other"
+                else
+                  Ok
+                    (match m with
+                     | `Single -> Defect.single_cell ~seed:dseed r.chip
+                     | `Cluster -> Defect.clustered ~seed:dseed ~radius r.chip
+                     | `Progressive ->
+                       Defect.progressive ~seed:dseed ~count r.chip
+                     | `Component -> Defect.component_fault ~seed:dseed r.chip)
+              | None, None -> explicit_plan ()
+            in
+            match plan with
+            | Error e -> Error e
+            | Ok plan ->
+              (match Defect.check r.chip plan with
+               | Error e -> Error e
+               | Ok () ->
+                 let targets =
+                   match tick with
+                   | None -> Defect.targets plan
+                   | Some t -> Defect.upto plan ~tick:t
+                 in
+                 if targets = [] then
+                   Error
+                     "empty defect set; give --defect X,Y, --dead-component \
+                      ID, --defect-plan FILE or --defect-model MODEL"
+                 else begin
+                   (match save_plan with
+                    | Some path ->
+                      Defect.to_file path plan;
+                      Printf.eprintf "wrote %s\n" path
+                    | None -> ());
+                   let o = Plan.repair ~config r ~defects:targets in
+                   let audit =
+                     if o.report.survived then
+                       Plan.verify ~config ~defects:targets o
+                     else []
+                   in
+                   Ok (o, audit)
+                 end))
+      in
+      (match outcome with
+       | Error msg -> `Error (false, msg)
+       | Ok (_, (_ :: _ as audit)) ->
+         `Error
+           ( false,
+             "repair produced an illegal result:\n  "
+             ^ String.concat "\n  " audit )
+       | Ok (o, []) ->
+         print_report o.report ~json;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Synthesise a benchmark (or assay file), then repair it around a \
+          set of chip defects — explicit cells/components, a JSON defect \
+          plan, or a seeded defect model — escalating through \
+          reroute-in-window, bounded-delay reroute, component re-binding \
+          and a full re-route fallback.  The report is byte-identical for \
+          every --jobs value; a surviving repair is legality-audited \
+          before it is reported.")
+    Term.(
+      ret
+        (const action $ verbose_arg $ benchmark_arg $ input_arg $ alloc_arg
+       $ tc_arg $ seed_arg $ sa_restarts_arg $ backend_arg $ exact_fuel_arg
+       $ jobs_arg $ defect_arg $ component_arg $ plan_arg $ model_arg
+       $ dseed_arg $ radius_arg $ count_arg $ tick_arg $ save_plan_arg
+       $ json_arg $ trace_arg $ folded_arg $ metrics_arg))
 
 (* --- client --- *)
 
@@ -1295,5 +1507,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; synth_cmd; explore_cmd; info_cmd;
-            control_cmd; dot_cmd; trace_cmd; serve_cmd; worker_cmd;
-            client_cmd ]))
+            control_cmd; dot_cmd; trace_cmd; repair_cmd; serve_cmd;
+            worker_cmd; client_cmd ]))

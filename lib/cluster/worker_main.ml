@@ -115,7 +115,7 @@ let run ?(fault = Fault.empty) ?(index = 0) ?(vclock = false) ~config ic oc =
                    [ ("worker", Json.Int index);
                      ("jobs", Json.Int !jobs_done) ]));
            raise Exit
-         | Ok (P.Status _ | P.Result _ | P.Stats_prom) ->
+         | Ok (P.Status _ | P.Result _ | P.Repair _ | P.Stats_prom) ->
            respond oc
              (P.Bad_request
                 {

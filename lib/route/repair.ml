@@ -1,4 +1,31 @@
 module Types = Mfb_schedule.Types
+module Chip = Mfb_place.Chip
+
+(* Row-major comparison: y is the major axis, matching the (x, y)
+   tuple layout of every grid cell in the codebase. *)
+let row_major_compare (x1, y1) (x2, y2) =
+  let c = Int.compare y1 y2 in
+  if c <> 0 then c else Int.compare x1 x2
+
+let owner (chip : Chip.t) (cx, cy) =
+  let n = Array.length chip.components in
+  let rec scan i =
+    if i >= n then None
+    else
+      let x, y, w, h = Chip.footprint chip i in
+      if cx >= x && cx < x + w && cy >= y && cy < y + h then Some i
+      else scan (i + 1)
+  in
+  scan 0
+
+let cells (chip : Chip.t) =
+  let acc = ref [] in
+  for y = chip.height - 1 downto 0 do
+    for x = chip.width - 1 downto 0 do
+      if owner chip (x, y) = None then acc := (x, y) :: !acc
+    done
+  done;
+  !acc
 
 type outcome = {
   defect : int * int;
@@ -7,10 +34,12 @@ type outcome = {
   survived : bool;
 }
 
-let inject ~we ~tc chip (sched : Types.t) (routing : Routed.result) ~defect =
-  let probe = Rgrid.create ~we chip in
-  if Rgrid.blocked probe defect then
-    invalid_arg "Repair.inject: defect lies on a component footprint";
+type injection =
+  | Channel of outcome
+  | Component_fault of { component : int }
+
+let inject_channel ~we ~tc chip (sched : Types.t) (routing : Routed.result)
+    ~defect =
   let grid = Rgrid.create ~we chip in
   let healthy, affected =
     List.partition
@@ -55,6 +84,11 @@ let inject ~we ~tc chip (sched : Types.t) (routing : Routed.result) ~defect =
     survived = List.length repaired = List.length affected;
   }
 
+let inject ~we ~tc chip (sched : Types.t) (routing : Routed.result) ~defect =
+  match owner chip defect with
+  | Some component -> Component_fault { component }
+  | None -> Channel (inject_channel ~we ~tc chip sched routing ~defect)
+
 type yield_report = {
   cells_tested : int;
   survived : int;
@@ -63,9 +97,15 @@ type yield_report = {
 }
 
 let single_defect_yield ~we ~tc chip sched (routing : Routed.result) =
-  let cells = Rgrid.used_cells routing.grid in
+  (* Used cells in the canonical row-major order, so [worst] is the
+     first failing cell of a stable enumeration. *)
+  let cells =
+    List.sort row_major_compare (Rgrid.used_cells routing.grid)
+  in
   let outcomes =
-    List.map (fun defect -> inject ~we ~tc chip sched routing ~defect) cells
+    List.map
+      (fun defect -> inject_channel ~we ~tc chip sched routing ~defect)
+      cells
   in
   let survived =
     List.length (List.filter (fun (o : outcome) -> o.survived) outcomes)

@@ -9,7 +9,26 @@
 
     The single-defect yield — the fraction of channel cells whose failure
     the design survives without touching the schedule — is a standard
-    robustness figure for microfluidic layouts. *)
+    robustness figure for microfluidic layouts.
+
+    A defect that lands on a component footprint is not a channel fault
+    but a {e component} fault: the component itself is dead and the
+    operations bound to it must move, which is re-binding (see
+    [Mfb_repair.Plan]), not re-routing.  [inject] reports this case as a
+    structured {!injection} instead of raising. *)
+
+val cells : Mfb_place.Chip.t -> (int * int) list
+(** All channel cells of the chip — cells not covered by any component
+    footprint — in {e row-major} order: [(0,0), (1,0), …, (w-1,0),
+    (0,1), …].  This is the canonical defect-enumeration order shared by
+    {!single_defect_yield}, the bench sweeps and the seeded defect
+    generators; every consumer iterating channel cells must use it so
+    that a "cell index" means the same cell everywhere. *)
+
+val owner : Mfb_place.Chip.t -> int * int -> int option
+(** [owner chip cell] is the component whose footprint covers [cell]
+    (the lowest such id, though footprints never overlap on a legal
+    chip), or [None] for a channel cell. *)
 
 type outcome = {
   defect : int * int;
@@ -18,6 +37,13 @@ type outcome = {
   survived : bool;         (** all affected tasks repaired *)
 }
 
+type injection =
+  | Channel of outcome
+      (** the defect hit a channel cell; the re-route outcome *)
+  | Component_fault of { component : int }
+      (** the defect lies on this component's footprint — a component
+          fault, to be handled by re-binding, not re-routing *)
+
 val inject :
   we:float ->
   tc:float ->
@@ -25,13 +51,12 @@ val inject :
   Mfb_schedule.Types.t ->
   Routed.result ->
   defect:int * int ->
-  outcome
+  injection
 (** [inject ~we ~tc chip sched routing ~defect] rebuilds the design with
     [defect] unusable and every healthy task's occupation re-committed,
     then re-routes the affected tasks conflict-aware (original windows,
-    no extra delay allowed).
-    @raise Invalid_argument when the defect cell lies on a component
-    footprint (that is a component fault, not a channel fault). *)
+    no extra delay allowed).  A defect on a component footprint returns
+    [Component_fault] instead of attempting any re-route. *)
 
 type yield_report = {
   cells_tested : int;     (** channel cells of the design *)
@@ -47,4 +72,7 @@ val single_defect_yield :
   Mfb_schedule.Types.t ->
   Routed.result ->
   yield_report
-(** Try every used channel cell as the defect. *)
+(** Try every used channel cell as the defect, in row-major order (the
+    {!cells} order restricted to cells with at least one occupation).
+    [worst] is the {e first} failing defect in that order, so the report
+    is deterministic and reproducible cell-for-cell. *)

@@ -26,6 +26,11 @@ type request =
     }
   | Status of string
   | Result of string
+  | Repair of {
+      id : string;
+      target : string;
+      defects : Mfb_repair.Defect.target list;
+    }
   | Stats
   | Stats_prom
   | Shutdown
@@ -39,6 +44,13 @@ type response =
       key : string;
       result : Json.t;
       spans : Json.t option;
+    }
+  | Repair_result of {
+      id : string;
+      target : string;
+      key : string;
+      warm : bool;
+      report : Json.t;
     }
   | Stats_reply of Json.t
   | Stats_text of string
@@ -84,6 +96,12 @@ let request_to_json = function
     Json.Obj [ ("op", Json.String "status"); ("id", Json.String id) ]
   | Result id ->
     Json.Obj [ ("op", Json.String "result"); ("id", Json.String id) ]
+  | Repair { id; target; defects } ->
+    Json.Obj
+      [ ("op", Json.String "repair"); ("id", Json.String id);
+        ("target", Json.String target);
+        ( "defects",
+          Json.List (List.map Mfb_repair.Defect.target_to_json defects) ) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Stats_prom ->
     Json.Obj
@@ -109,6 +127,12 @@ let response_to_json = function
          ("id", Json.String id); ("key", Json.String key);
          ("result", result) ]
       @ (match spans with None -> [] | Some s -> [ ("spans", s) ]))
+  | Repair_result { id; target; key; warm; report } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "repair");
+        ("id", Json.String id); ("target", Json.String target);
+        ("key", Json.String key); ("warm", Json.Bool warm);
+        ("report", report) ]
   | Stats_reply stats ->
     Json.Obj
       [ ("ok", Json.Bool true); ("op", Json.String "stats");
@@ -222,6 +246,26 @@ let request_of_json v =
   | "result" ->
     let* id = string_field "id" v in
     Ok (Result id)
+  | "repair" ->
+    let* id = string_field "id" v in
+    let* target = string_field "target" v in
+    let* defects =
+      match field "defects" v with
+      | Some (Json.List entries) ->
+        let* rev =
+          List.fold_left
+            (fun acc e ->
+              let* acc = acc in
+              let* t = Mfb_repair.Defect.target_of_json e in
+              Ok (t :: acc))
+            (Ok []) entries
+        in
+        if rev = [] then Error "field \"defects\" must be non-empty"
+        else Ok (List.rev rev)
+      | Some _ -> Error "field \"defects\" must be an array"
+      | None -> Error "missing field \"defects\""
+    in
+    Ok (Repair { id; target; defects })
   | "stats" ->
     (match field "format" v with
      | None -> Ok Stats
@@ -273,6 +317,18 @@ let response_of_json v =
        | Some result ->
          Ok (Job_result { id; key; result; spans = field "spans" v })
        | None -> Error "missing field \"result\"")
+    | "repair" ->
+      let* id = string_field "id" v in
+      let* target = string_field "target" v in
+      let* key = string_field "key" v in
+      let* warm =
+        match field "warm" v with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error "missing boolean field \"warm\""
+      in
+      (match field "report" v with
+       | Some report -> Ok (Repair_result { id; target; key; warm; report })
+       | None -> Error "missing field \"report\"")
     | "stats" ->
       (match (field "stats" v, field "text" v) with
        | Some stats, _ -> Ok (Stats_reply stats)

@@ -12,6 +12,8 @@
      "priority":5,"deadline":3,"flow":"ours","seed":7}
     {"op":"status","id":"r1"}
     {"op":"result","id":"r1"}
+    {"op":"repair","id":"p1","target":"r1",
+     "defects":[{"kind":"cell","x":3,"y":4}]}
     {"op":"stats"}
     {"op":"shutdown"}
     v}
@@ -62,6 +64,14 @@ type request =
     }
   | Status of string  (** job id *)
   | Result of string  (** job id *)
+  | Repair of {
+      id : string;  (** id of this repair request *)
+      target : string;  (** id of a previously submitted job *)
+      defects : Mfb_repair.Defect.target list;
+          (** non-empty; the {!Mfb_repair.Defect.target_to_json} entry
+              shape, without ticks — the client resolves a timed plan to
+              the defect set visible now *)
+    }
   | Stats
   | Stats_prom  (** [{"op":"stats","format":"prometheus"}] *)
   | Shutdown
@@ -80,6 +90,16 @@ type response =
           (** worker-side span forest ([Telemetry.node_to_json] list);
               present only when the request carried trace context, so
               client-visible bytes are unchanged otherwise *)
+    }
+  | Repair_result of {
+      id : string;
+      target : string;
+      key : string;  (** cache key of the repaired job *)
+      warm : bool;
+          (** [true] when the repair warm-started from the retained full
+              result of the target job; [false] when the server had to
+              re-synthesize it first.  Does not affect the report bytes. *)
+      report : Mfb_util.Json.t;  (** {!Mfb_repair.Plan.report_to_json} *)
     }
   | Stats_reply of Mfb_util.Json.t
   | Stats_text of string

@@ -34,6 +34,7 @@ type config = {
   cache_capacity : int;
   queue_depth : int;
   batch : int;
+  repair_cache : int;
   flow_config : Mfb_core.Config.t;
   dispatch : (job list -> dispatch_result list) option;
   extra_stats : (unit -> (string * Json.t) list) option;
@@ -49,6 +50,7 @@ let default_config =
     cache_capacity = 128;
     queue_depth = 64;
     batch = 8;
+    repair_cache = 8;
     flow_config = Mfb_core.Config.default;
     dispatch = None;
     extra_stats = None;
@@ -73,16 +75,25 @@ type req_info = {
 type t = {
   cfg : config;
   cache : (Cache_key.t, Json.t) Lru.t option;
+  (* Full [Mfb_core.Result.t]s retained from in-process batch runs so a
+     later repair request can warm-start instead of re-synthesizing.
+     Small and separate from the summary cache: a full result holds the
+     routed grid and schedule, not just scalar metrics. *)
+  full : (Cache_key.t, Mfb_core.Result.t) Lru.t option;
+  specs : (string, job) Hashtbl.t;  (* accepted id -> resolved job *)
   queue : job Job_queue.t;
   outcomes : (string, outcome) Hashtbl.t;
   ids : (string, unit) Hashtbl.t;  (* every accepted id, for dedupe *)
   req_info : (string, req_info) Hashtbl.t;
   h_latency : Histogram.t;    (* total request latency, clock units *)
   h_queue_wait : Histogram.t; (* queue wait in virtual ticks *)
+  h_repair : Histogram.t;     (* repair latency, clock units *)
   mutable next_rid : int;
   mutable tick : int;
   mutable submitted : int;
   mutable computed : int;
+  mutable repairs : int;
+  mutable repairs_warm : int;
   mutable shed_deadline : int;
   mutable shed_displaced : int;
   mutable rejected : int;
@@ -94,21 +105,30 @@ let create cfg =
   if cfg.batch < 1 then invalid_arg "Server.create: batch < 1";
   if cfg.cache_capacity < 0 then
     invalid_arg "Server.create: cache_capacity < 0";
+  if cfg.repair_cache < 0 then invalid_arg "Server.create: repair_cache < 0";
   {
     cfg;
     cache =
       (if cfg.cache_capacity = 0 then None
        else Some (Lru.create ~name:"results" ~capacity:cfg.cache_capacity ()));
+    full =
+      (if cfg.repair_cache = 0 then None
+       else
+         Some (Lru.create ~name:"full-results" ~capacity:cfg.repair_cache ()));
+    specs = Hashtbl.create 64;
     queue = Job_queue.create ~depth:cfg.queue_depth ();
     outcomes = Hashtbl.create 64;
     ids = Hashtbl.create 64;
     req_info = Hashtbl.create 64;
     h_latency = Histogram.create ();
     h_queue_wait = Histogram.create ();
+    h_repair = Histogram.create ();
     next_rid = 0;
     tick = 0;
     submitted = 0;
     computed = 0;
+    repairs = 0;
+    repairs_warm = 0;
     shed_deadline = 0;
     shed_displaced = 0;
     rejected = 0;
@@ -184,20 +204,20 @@ let resolve_job t ~flow ~overrides spec =
 
 (* --- batch execution --- *)
 
-let run_job ?trace job =
-  let compute () =
-    let r =
-      match job.flow with
-      | `Ours ->
-        Mfb_core.Flow.run ~config:job.config ~jobs:1 job.graph job.allocation
-      | `Ba ->
-        Mfb_core.Baseline.run ~config:job.config job.graph job.allocation
-    in
-    Mfb_core.Result.(summary_to_json (summarize r))
-  in
+let synthesize job =
+  match job.flow with
+  | `Ours ->
+    Mfb_core.Flow.run ~config:job.config ~jobs:1 job.graph job.allocation
+  | `Ba -> Mfb_core.Baseline.run ~config:job.config job.graph job.allocation
+
+let run_job_full ?trace job =
   match trace with
-  | None -> compute ()
-  | Some args -> Telemetry.span ~cat:"serve" ~args "request" compute
+  | None -> synthesize job
+  | Some args ->
+    Telemetry.span ~cat:"serve" ~args "request" (fun () -> synthesize job)
+
+let run_job ?trace job =
+  Mfb_core.Result.(summary_to_json (summarize (run_job_full ?trace job)))
 
 (* --- request observability ---
 
@@ -370,10 +390,15 @@ let process_batch t =
   let results =
     match t.cfg.dispatch with
     | Some dispatch ->
-      dispatch (List.map (fun (it : job Job_queue.item) -> it.payload) unique)
+      List.map
+        (fun r -> (r, None))
+        (dispatch
+           (List.map (fun (it : job Job_queue.item) -> it.payload) unique))
     | None ->
       (* Trace args are resolved on the server thread before fan-out so
-         pool tasks never touch server state. *)
+         pool tasks never touch server state.  The full result rides
+         back alongside the summary payload so it can be retained for
+         warm-start repairs. *)
       let traced =
         List.map
           (fun (it : job Job_queue.item) ->
@@ -385,12 +410,14 @@ let process_batch t =
       in
       Mfb_util.Pool.map ~label:"serve-job" ~jobs:t.cfg.jobs
         (fun ((it : job Job_queue.item), trace) ->
-          {
-            d_payload = run_job ~trace it.payload;
-            d_slot = None;
-            d_attempts = 1;
-            d_spans = [];
-          })
+          let full = run_job_full ~trace it.payload in
+          ( {
+              d_payload = Mfb_core.Result.(summary_to_json (summarize full));
+              d_slot = None;
+              d_attempts = 1;
+              d_spans = [];
+            },
+            Some full ))
         traced
   in
   t.computed <- t.computed + List.length unique;
@@ -400,13 +427,16 @@ let process_batch t =
      the span tree is grafted only under the computing request. *)
   let meta = Hashtbl.create 8 in
   List.iter2
-    (fun (it : job Job_queue.item) res ->
+    (fun (it : job Job_queue.item) (res, full) ->
       Hashtbl.replace fresh it.payload.key res.d_payload;
       Hashtbl.replace meta it.payload.key
         (res.d_slot, res.d_attempts, res.d_spans, it.id);
       (match t.cache with
        | Some c -> Lru.add c it.payload.key res.d_payload
        | None -> ());
+      (match (t.full, full) with
+       | Some c, Some r -> Lru.add c it.payload.key r
+       | _ -> ());
       Hashtbl.replace t.outcomes it.id
         (Done { key = it.payload.key; payload = res.d_payload }))
     unique results;
@@ -496,9 +526,22 @@ let stats_json t =
       ("rejected", Json.Int t.rejected);
       ("latency", Histogram.snapshot_json t.h_latency);
       ("queue_wait", Histogram.snapshot_json t.h_queue_wait);
-      ("jobs", Json.Int t.cfg.jobs);
-      ("config", Mfb_core.Config.to_json t.cfg.flow_config);
     ]
+    (* present only once a repair has run, so the stats payload stays
+       byte-identical to older servers for scripts that never repair *)
+    @ (if t.repairs = 0 then []
+       else
+         [ ( "repair",
+             Json.Obj
+               [
+                 ("total", Json.Int t.repairs);
+                 ("warm", Json.Int t.repairs_warm);
+                 ("latency", Histogram.snapshot_json t.h_repair);
+               ] ) ])
+    @ [
+        ("jobs", Json.Int t.cfg.jobs);
+        ("config", Mfb_core.Config.to_json t.cfg.flow_config);
+      ]
     @ (match t.cfg.extra_stats with None -> [] | Some f -> f ())
   in
   Json.Obj fields
@@ -506,6 +549,8 @@ let stats_json t =
 let latency_histogram t = t.h_latency
 
 let queue_wait_histogram t = t.h_queue_wait
+
+let repair_latency_histogram t = t.h_repair
 
 (* Prometheus text exposition: server counters, cache counters, and the
    two rolling histograms; a fleet appends its per-slot series via
@@ -547,6 +592,15 @@ let prometheus_stats t =
     ~name:"dcsa_request_latency" buf t.h_latency;
   Histogram.prometheus ~help:"queue wait (virtual ticks)"
     ~name:"dcsa_queue_wait_ticks" buf t.h_queue_wait;
+  (* like the stats payload: repair series appear only once a repair has
+     run, keeping the exposition byte-identical for repair-free scripts *)
+  if t.repairs > 0 then begin
+    counter "dcsa_repairs_total" "repair requests answered" t.repairs;
+    counter "dcsa_repairs_warm_total"
+      "repairs warm-started from a retained full result" t.repairs_warm;
+    Histogram.prometheus ~help:"repair latency (ticks, or ms in wall mode)"
+      ~name:"dcsa_repair_latency" buf t.h_repair
+  end;
   (match t.cfg.extra_prometheus with None -> () | Some f -> f buf);
   (* scrapers require the body to end in a newline; guard against an
      extra_prometheus hook that forgot its terminator *)
@@ -628,6 +682,7 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
       (match hit with
        | Some payload ->
          Hashtbl.replace t.ids id ();
+         Hashtbl.replace t.specs id job;
          t.submitted <- t.submitted + 1;
          Hashtbl.replace t.outcomes id (Done { key = job.key; payload });
          let info =
@@ -668,6 +723,7 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
                  ~compute_ticks:0 ~worker_spans:[] ~latency:None ()
              | _ -> ());
             Hashtbl.replace t.ids id ();
+            Hashtbl.replace t.specs id job;
             t.submitted <- t.submitted + 1;
             Hashtbl.replace t.req_info id
               {
@@ -681,6 +737,132 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
               process_batch t
             done;
             P.Submitted { id; key = Cache_key.to_hex job.key }))
+
+(* --- defect repair ---
+
+   A repair request names a previously accepted submission and a defect
+   set, and answers with the {!Mfb_repair.Plan} report.  Warm path: the
+   target's full result is still retained from its in-process batch run
+   — the repair warm-starts from it in one virtual tick.  Cold path: the
+   full result must first be re-synthesized (same config, [jobs = 1], so
+   byte-identical to the original run) — two ticks.  The report is a
+   pure function of (job, defects) either way; cache temperature can
+   only change latency, never bytes, exactly like the summary cache. *)
+
+let full_result_of t (job : job) =
+  match t.full with
+  | None -> (synthesize job, false)
+  | Some c ->
+    (match Lru.find c job.key with
+     | Some r -> (r, true)
+     | None ->
+       let r = synthesize job in
+       Lru.add c job.key r;
+       (r, false))
+
+let handle_repair t ~id ~target ~defects =
+  let rid = next_rid t in
+  let wall0 = Unix.gettimeofday () in
+  let log ~key ~backend ~outcome ?reason ~compute_ticks () =
+    match t.cfg.access_log with
+    | None -> ()
+    | Some oc ->
+      let fields =
+        access_fields ~rid ~id ~key ~backend ~outcome ?reason ~queue_ticks:0
+          ~compute_ticks ()
+      in
+      output_string oc (Json.to_string (Json.Obj fields));
+      output_char oc '\n';
+      flush oc
+  in
+  let rejected ~key ~backend ~why reason =
+    log ~key ~backend ~outcome:"rejected" ~reason:why ~compute_ticks:0 ();
+    P.Rejected { op = "repair"; id; reason }
+  in
+  if Hashtbl.mem t.ids id then
+    rejected ~key:"-" ~backend:"-" ~why:"duplicate id" "duplicate id"
+  else begin
+    (* a still-queued target is forced to an outcome first, exactly as a
+       [result] request would *)
+    if
+      (not (Hashtbl.mem t.outcomes target))
+      && Job_queue.position t.queue target <> None
+    then drain_until t target;
+    match Hashtbl.find_opt t.specs target with
+    | None ->
+      log ~key:"-" ~backend:"-" ~outcome:"rejected" ~reason:"unknown target"
+        ~compute_ticks:0 ();
+      P.Bad_request
+        { id = Some id;
+          message = Printf.sprintf "unknown target id %S" target }
+    | Some job ->
+      let key = key_prefix job.key in
+      let backend = backend_name job in
+      (match Hashtbl.find_opt t.outcomes target with
+       | Some (Shed reason) ->
+         rejected ~key ~backend ~why:"target shed" ("target was shed: " ^ reason)
+       | None ->
+         rejected ~key ~backend ~why:"target pending" "target has no result yet"
+       | Some (Done _) ->
+         Hashtbl.replace t.ids id ();
+         let full, warm = full_result_of t job in
+         let plan =
+           List.map
+             (fun tg -> { Mfb_repair.Defect.tick = 0; target = tg })
+             defects
+         in
+         (match Mfb_repair.Defect.check full.Mfb_core.Result.chip plan with
+          | Error reason ->
+            rejected ~key ~backend ~why:"invalid defects" reason
+          | Ok () ->
+            let compute_ticks = if warm then 1 else 2 in
+            let run () =
+              Mfb_repair.Plan.repair ~config:job.config full ~defects
+            in
+            (* the repair span lands under a real request span on this
+               request's subtrack *)
+            let o =
+              if Telemetry.active () then
+                Telemetry.on_subtrack (Telemetry.subtrack rid) (fun () ->
+                    Telemetry.span ~cat:"serve"
+                      ~args:
+                        [ ("rid", Telemetry.Str rid); ("id", Telemetry.Str id);
+                          ("target", Telemetry.Str target);
+                          ("key", Telemetry.Str key);
+                          ("outcome", Telemetry.Str "repair") ]
+                      "request" run)
+              else run ()
+            in
+            let errors =
+              if o.Mfb_repair.Plan.report.survived then
+                Mfb_repair.Plan.verify ~config:job.config ~defects o
+              else []
+            in
+            (match errors with
+             | err :: _ ->
+               rejected ~key ~backend ~why:"illegal repair"
+                 ("repair produced an illegal result: " ^ err)
+             | [] ->
+               t.repairs <- t.repairs + 1;
+               if warm then t.repairs_warm <- t.repairs_warm + 1;
+               let latency =
+                 match t.cfg.clock with
+                 | `Virtual -> float_of_int compute_ticks
+                 | `Wall -> (Unix.gettimeofday () -. wall0) *. 1000.0
+               in
+               Histogram.add t.h_repair latency;
+               log ~key ~backend
+                 ~outcome:(if warm then "repair" else "repair-cold")
+                 ~compute_ticks ();
+               P.Repair_result
+                 {
+                   id;
+                   target;
+                   key = Cache_key.to_hex job.key;
+                   warm;
+                   report = Mfb_repair.Plan.report_to_json o.report;
+                 })))
+  end
 
 let handle t req =
   match req with
@@ -707,6 +889,7 @@ let handle t req =
          { id; key = Cache_key.to_hex key; result = payload; spans = None }
      | Some (Shed reason) -> P.Rejected { op = "result"; id; reason }
      | None -> P.Bad_request { id = Some id; message = "unknown id" })
+  | P.Repair { id; target; defects } -> handle_repair t ~id ~target ~defects
   | P.Stats -> P.Stats_reply (stats_json t)
   | P.Stats_prom -> P.Stats_text (prometheus_stats t)
   | P.Shutdown ->

@@ -25,7 +25,19 @@
     the deterministic {!Mfb_core.Result.summary}, batch dispatch order
     is a pure function of (priority, submission order), and the pool
     preserves task order.  Caching is therefore {e transparent} — it can
-    only change latency, never a payload. *)
+    only change latency, never a payload.
+
+    {2 Repair}
+
+    A [repair] request names a previously accepted submission and a
+    defect set ({!Mfb_repair.Defect.target}s) and answers with the
+    {!Mfb_repair.Plan} escalation report.  The server warm-starts from
+    the retained full result of the target job when it is still in the
+    repair cache (1 virtual tick), or re-synthesizes it first (2 ticks).
+    The report bytes are a pure function of (job, defects) — cache
+    temperature, [jobs] and transport can only change latency.  A
+    surviving repair whose result fails the legality audit
+    ({!Mfb_repair.Plan.verify}) is rejected rather than returned. *)
 
 type job = {
   key : Cache_key.t;
@@ -60,6 +72,12 @@ type config = {
   cache_capacity : int;  (** LRU entries; [0] disables caching *)
   queue_depth : int;     (** admission-control bound *)
   batch : int;           (** max jobs dispatched per tick *)
+  repair_cache : int;
+      (** full {!Mfb_core.Result.t}s retained from in-process batch runs
+          so [repair] requests can warm-start; [0] disables retention
+          (every repair then re-synthesizes its target first).  Kept
+          small — a full result holds the routed grid and schedule, not
+          just summary scalars. *)
   flow_config : Mfb_core.Config.t;
       (** base synthesis parameters; [submit] overrides apply on top *)
   dispatch : (job list -> dispatch_result list) option;
@@ -90,9 +108,9 @@ type config = {
 }
 
 val default_config : config
-(** [jobs = 1], 128 cache entries, queue depth 64, batch 8, paper
-    parameters, no dispatch hook, no extra stats, virtual clock, no
-    access log. *)
+(** [jobs = 1], 128 cache entries, queue depth 64, batch 8, 8 retained
+    full results, paper parameters, no dispatch hook, no extra stats,
+    virtual clock, no access log. *)
 
 type t
 
@@ -153,6 +171,12 @@ val latency_histogram : t -> Mfb_util.Histogram.t
 
 val queue_wait_histogram : t -> Mfb_util.Histogram.t
 (** The rolling queue-wait histogram (always virtual ticks). *)
+
+val repair_latency_histogram : t -> Mfb_util.Histogram.t
+(** The rolling repair-latency histogram (clock units).  Under the
+    virtual clock a warm-started repair observes 1 tick and a cold one
+    (full result re-synthesized first) 2 ticks, so the histogram is a
+    deterministic record of cache temperature. *)
 
 val serve : ?input:in_channel -> ?output:out_channel -> t -> unit
 (** Run the line loop (default stdin/stdout) until [shutdown] or EOF,

@@ -1,0 +1,156 @@
+The repair subcommand synthesises a benchmark, then re-synthesises it
+incrementally around injected defects: rip up only the routes and
+bindings a defect touches, and climb an escalation ladder (reroute ->
+reroute-with-delay -> re-bind -> full resynthesis) until the assay
+survives.  A single dead channel cell on a used route is absorbed at
+the first rung.
+
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect 5,6
+  defects:   cell(5,6)
+  rung:      reroute
+  ripped up 1  rerouted 1 (0 delayed)  rebound 0  fallbacks 0  failed 0
+  makespan:  22.20 -> 22.20 s (+0.00)
+  survived:  yes
+
+A defect under a component footprint used to raise Invalid_argument
+deep in the router; it is now lifted to a structured component fault
+and handled on the re-bind rung.  PCR has no spare mixer, so the
+repair honestly reports the assay as lost rather than crashing:
+
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect 3,4
+  defects:   component(0)
+  rung:      rebind
+  ripped up 0  rerouted 0 (0 delayed)  rebound 0  fallbacks 0  failed 3
+  makespan:  22.20 -> 22.20 s (+0.00)
+  survived:  no
+
+Seeded defect plans are deterministic JSON documents: a model draw
+saved with --save-plan replays byte-identically through --defect-plan.
+
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect-model single --defect-seed 7 --save-plan plan.json > seeded.out
+  wrote plan.json
+  $ cat seeded.out
+  defects:   cell(9,1)
+  rung:      none (nothing affected)
+  ripped up 0  rerouted 0 (0 delayed)  rebound 0  fallbacks 0  failed 0
+  makespan:  22.20 -> 22.20 s (+0.00)
+  survived:  yes
+  $ cat plan.json
+  {
+   "defects": [
+    {
+     "tick": 0,
+     "kind": "cell",
+     "x": 9,
+     "y": 1
+    }
+   ]
+  }
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect-plan plan.json > replayed.out
+  $ cmp seeded.out replayed.out && echo plan-replay-identical
+  plan-replay-identical
+
+The repair report is a pure function of (job, defects): --json output
+is bit-for-bit identical for every --jobs value.
+
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect 5,6 --json > r1.json
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect 5,6 --json --jobs 2 > r2.json
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect 5,6 --json --jobs 4 > r4.json
+  $ cmp r1.json r2.json && cmp r1.json r4.json && echo repair-jobs-invariant
+  repair-jobs-invariant
+  $ cat r1.json
+  {
+    "targets": [
+      {
+        "kind": "cell",
+        "x": 5,
+        "y": 6
+      }
+    ],
+    "ripped_up": 1,
+    "rerouted": 1,
+    "rerouted_delayed": 0,
+    "rebound": 0,
+    "fallbacks": 0,
+    "failed": 0,
+    "rung": "reroute",
+    "survived": true,
+    "makespan_before": 22.2,
+    "makespan_after": 22.2
+  }
+
+Bad defect specifications are refused up front, before any synthesis
+state is touched:
+
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect 999,999
+  dcsa-synth: defect cell (999,999) outside the 13x13 chip
+  [124]
+  $ ../../bin/dcsa_synth.exe repair -b PCR --defect-plan plan.json --defect-model single
+  dcsa-synth: use either --defect-plan or --defect-model, not both
+  [124]
+  $ ../../bin/dcsa_synth.exe repair -b PCR
+  dcsa-synth: empty defect set; give --defect X,Y, --dead-component ID, --defect-plan FILE or --defect-model MODEL
+  [124]
+
+The serving tier exposes the same ladder as a repair op against an
+already-computed result.  The first repair is answered warm from the
+retained full result; the component fault reports survived:false
+through the same wire shape; an unknown target is a structured error.
+
+  $ cat > rscript.txt <<'EOF'
+  > {"op":"submit","id":"r1","benchmark":"PCR"}
+  > {"op":"result","id":"r1"}
+  > {"op":"repair","id":"p1","target":"r1","defects":[{"kind":"cell","x":5,"y":6}]}
+  > {"op":"repair","id":"p2","target":"r1","defects":[{"kind":"cell","x":3,"y":4}]}
+  > {"op":"repair","id":"p3","target":"ghost","defects":[{"kind":"cell","x":1,"y":1}]}
+  > EOF
+  $ ../../bin/dcsa_synth.exe serve < rscript.txt > stdio.out
+  $ grep '"op":"repair"' stdio.out
+  {"ok":true,"op":"repair","id":"p1","target":"r1","key":"5a1cf9d38af9fd6b","warm":true,"report":{"targets":[{"kind":"cell","x":5,"y":6}],"ripped_up":1,"rerouted":1,"rerouted_delayed":0,"rebound":0,"fallbacks":0,"failed":0,"rung":"reroute","survived":true,"makespan_before":22.2,"makespan_after":22.2}}
+  {"ok":true,"op":"repair","id":"p2","target":"r1","key":"5a1cf9d38af9fd6b","warm":true,"report":{"targets":[{"kind":"component","id":0}],"ripped_up":0,"rerouted":0,"rerouted_delayed":0,"rebound":0,"fallbacks":0,"failed":3,"rung":"rebind","survived":false,"makespan_before":22.2,"makespan_after":22.2}}
+  $ grep '"id":"p3"' stdio.out
+  {"ok":false,"op":"error","id":"p3","message":"unknown target id \"ghost\""}
+
+Repairs carry their own stats section and latency histogram, present
+only once a repair has run (repair-free scripts keep their old stats
+bytes):
+
+  $ printf '{"op":"stats"}\n' | ../../bin/dcsa_synth.exe serve | grep -c '"repair"'
+  0
+  [1]
+  $ { cat rscript.txt; printf '{"op":"stats"}\n'; } | ../../bin/dcsa_synth.exe serve | grep -o '"repair":{"total":2,"warm":2'
+  "repair":{"total":2,"warm":2
+
+With --repair-cache 0 no full result is retained, so every repair
+re-synthesises cold; only the warm flag changes, the report bytes do
+not.
+
+  $ ../../bin/dcsa_synth.exe serve --repair-cache 0 < rscript.txt > cold.out
+  $ grep -c '"warm":false' cold.out
+  2
+  $ sed 's/"warm":[a-z]*/"warm":X/' stdio.out > stdio.norm
+  $ sed 's/"warm":[a-z]*/"warm":X/' cold.out > cold.norm
+  $ cmp stdio.norm cold.norm && echo warm-cold-identical
+  warm-cold-identical
+
+The access log attributes repairs as their own outcome on the target's
+cache key:
+
+  $ ../../bin/dcsa_synth.exe serve --access-log acc.jsonl < rscript.txt > /dev/null
+  $ grep '"outcome":"repair"' acc.jsonl
+  {"rid":"r000002","id":"p1","key":"5a1cf9d3","backend":"heuristic","outcome":"repair","queue_ticks":0,"compute_ticks":1,"total_ticks":1}
+  {"rid":"r000003","id":"p2","key":"5a1cf9d3","backend":"heuristic","outcome":"repair","queue_ticks":0,"compute_ticks":1,"total_ticks":1}
+
+And the TCP transport answers the identical script with byte-identical
+responses — repair ops included:
+
+  $ ../../bin/dcsa_synth.exe serve --tcp 0 --port-file port 2>tcp_serve.err &
+  $ SERVE_PID=$!
+  $ ../../bin/dcsa_synth.exe client --port-file port < rscript.txt > tcp.out
+  $ ../../bin/dcsa_synth.exe client --port-file port <<'EOF'
+  > {"op":"shutdown"}
+  > EOF
+  {"ok":true,"op":"shutdown","stats":{"tick":1,"submitted":1,"computed":1,"cache":{"capacity":128,"entries":1,"hits":0,"misses":1,"evictions":0},"queue":{"depth":64,"queued":0},"shed":{"deadline":0,"displaced":0},"rejected":0,"latency":{"count":1,"sum":1.0,"min":1.0,"max":1.0,"p50":1.189207115,"p95":1.189207115,"p99":1.189207115},"queue_wait":{"count":1,"sum":0.0,"min":0.0,"max":0.0,"p50":0.0,"p95":0.0,"p99":0.0},"repair":{"total":2,"warm":2,"latency":{"count":2,"sum":2.0,"min":1.0,"max":1.0,"p50":1.189207115,"p95":1.189207115,"p99":1.189207115}},"jobs":1,"config":{"tc":2.0,"we":10.0,"beta":0.6,"gamma":0.4,"sa":{"t0":10000.0,"t_min":1.0,"alpha":0.9,"i_max":150},"sa_restarts":1,"seed":42,"backend":"heuristic","exact_fuel":200000},"totals":{"cache":{"hits":0,"misses":1,"evictions":0},"queue":{"submitted":1,"computed":1,"shed":0,"rejected":0},"cluster":{"dispatched":0,"retries":0,"degraded":0,"respawns":0}}}}
+  $ wait $SERVE_PID
+  $ cmp stdio.out tcp.out && echo transport-invariant
+  transport-invariant

@@ -556,6 +556,11 @@ let test_hydraulics_ignores_io () =
 
 (* --- Defect repair --- *)
 
+let channel_outcome = function
+  | Mfb_route.Repair.Channel o -> o
+  | Mfb_route.Repair.Component_fault _ ->
+    Alcotest.fail "expected a channel defect, got a component fault"
+
 let test_repair_unused_cell_is_free () =
   let sched, chip, result = routed_instance 0 in
   let grid = result.grid in
@@ -573,20 +578,53 @@ let test_repair_unused_cell_is_free () =
     scan 0 0
   in
   let outcome =
-    Mfb_route.Repair.inject ~we ~tc chip sched result ~defect:free
+    channel_outcome
+      (Mfb_route.Repair.inject ~we ~tc chip sched result ~defect:free)
   in
   Alcotest.(check int) "nothing affected" 0 outcome.affected;
   Alcotest.(check bool) "survives" true outcome.survived
 
-let test_repair_component_cell_rejected () =
+let test_repair_component_cell_is_component_fault () =
+  (* A defect on a component footprint is valid field data — a dead
+     component, not a channel fault — and must come back as a structured
+     [Component_fault] naming the owner, never as an exception. *)
   let sched, chip, result = routed_instance 0 in
   let blocked_cell = List.hd (Chip.blocked_cells chip) in
-  Alcotest.check_raises "component fault"
-    (Invalid_argument "Repair.inject: defect lies on a component footprint")
-    (fun () ->
-      ignore
-        (Mfb_route.Repair.inject ~we ~tc chip sched result
-           ~defect:blocked_cell))
+  (match
+     Mfb_route.Repair.inject ~we ~tc chip sched result ~defect:blocked_cell
+   with
+   | Mfb_route.Repair.Component_fault { component } ->
+     (match Mfb_route.Repair.owner chip blocked_cell with
+      | Some c -> Alcotest.(check int) "fault names the owner" c component
+      | None -> Alcotest.fail "blocked cell has no owning component")
+   | Mfb_route.Repair.Channel _ ->
+     Alcotest.fail "footprint defect reported as a channel defect")
+
+let test_repair_cells_row_major () =
+  (* The shared channel-cell enumeration is row-major and contains
+     exactly the unblocked cells. *)
+  let _, chip, result = routed_instance 0 in
+  let cells = Mfb_route.Repair.cells chip in
+  let sorted =
+    List.sort
+      (fun (x1, y1) (x2, y2) ->
+        let c = compare y1 y2 in
+        if c <> 0 then c else compare x1 x2)
+      cells
+  in
+  Alcotest.(check bool) "row-major order" true (cells = sorted);
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool) "channel cells are unblocked" false
+        (Mfb_route.Rgrid.blocked result.grid cell))
+    cells;
+  let expected =
+    chip.Chip.width * chip.Chip.height
+    - List.length
+        (List.sort_uniq compare (Chip.blocked_cells chip))
+  in
+  Alcotest.(check int) "covers every channel cell" expected
+    (List.length cells)
 
 let test_repair_last_task_path_defect () =
   (* A defect on the committed path of the last routed task must count
@@ -599,7 +637,8 @@ let test_repair_last_task_path_defect () =
    | (last : Routed.task) :: _ ->
      let defect = List.nth last.path (List.length last.path / 2) in
      let outcome =
-       Mfb_route.Repair.inject ~we ~tc chip sched result ~defect
+       channel_outcome
+         (Mfb_route.Repair.inject ~we ~tc chip sched result ~defect)
      in
      Alcotest.(check bool) "defect recorded" true (outcome.defect = defect);
      Alcotest.(check bool) "last task is affected" true
@@ -631,7 +670,10 @@ let test_repair_unoccupied_cell_is_noop () =
     in
     scan 0 0
   in
-  let outcome = Mfb_route.Repair.inject ~we ~tc chip sched result ~defect:free in
+  let outcome =
+    channel_outcome
+      (Mfb_route.Repair.inject ~we ~tc chip sched result ~defect:free)
+  in
   Alcotest.(check int) "affected" 0 outcome.affected;
   Alcotest.(check int) "repaired" 0 outcome.repaired;
   Alcotest.(check bool) "survived" true outcome.survived
@@ -921,8 +963,10 @@ let suites =
       [
         Alcotest.test_case "unused cell free" `Quick
           test_repair_unused_cell_is_free;
-        Alcotest.test_case "component cell rejected" `Quick
-          test_repair_component_cell_rejected;
+        Alcotest.test_case "component cell is a component fault" `Quick
+          test_repair_component_cell_is_component_fault;
+        Alcotest.test_case "cells is row-major" `Quick
+          test_repair_cells_row_major;
         Alcotest.test_case "last task's path is repairable" `Quick
           test_repair_last_task_path_defect;
         Alcotest.test_case "unoccupied cell is a no-op" `Quick

@@ -273,6 +273,13 @@ let sample_requests =
       };
     P.Status "r1";
     P.Result "r2";
+    P.Repair
+      {
+        id = "p1";
+        target = "r1";
+        defects =
+          [ Mfb_repair.Defect.Cell (3, 4); Mfb_repair.Defect.Component 2 ];
+      };
     P.Stats;
     P.Stats_prom;
     P.Shutdown;
@@ -289,6 +296,14 @@ let sample_responses =
     P.Job_result
       { id = "r4"; key = "00ff00ff00ff00ff"; result = Json.Obj [ ("x", Json.Int 1) ];
         spans = Some (Json.List [ Json.Obj [ ("name", Json.String "request") ] ]) };
+    P.Repair_result
+      {
+        id = "p1";
+        target = "r1";
+        key = "00ff00ff00ff00ff";
+        warm = true;
+        report = Json.Obj [ ("survived", Json.Bool true) ];
+      };
     P.Stats_text "# HELP dcsa_tick virtual tick\n";
     P.Stats_reply (Json.Obj [ ("submitted", Json.Int 3) ]);
     P.Goodbye Json.Null;
@@ -325,14 +340,18 @@ let test_protocol_malformed () =
       {|{"op":"submit","id":"a"}|};
       {|{"op":"submit","id":"a","benchmark":"PCR","assay":"x"}|};
       {|{"op":"submit","id":"a","benchmark":"PCR","priority":"high"}|};
+      {|{"op":"repair","id":"p1"}|};
+      {|{"op":"repair","id":"p1","target":"a","defects":[]}|};
+      {|{"op":"repair","id":"p1","target":"a","defects":[{"kind":"hole"}]}|};
       {|{"op":"status"}|};
       {|[1,2]|};
     ]
 
 (* --- server behaviour --- *)
 
-let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) ?dispatch
-    ?extra_stats ?access_log ?slow_threshold () =
+let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8)
+    ?(repair_cache = 8) ?dispatch ?extra_stats ?access_log ?slow_threshold ()
+    =
   Server.create
     {
       Server.default_config with
@@ -340,6 +359,7 @@ let server ?(jobs = 1) ?(cache = 128) ?(depth = 64) ?(batch = 8) ?dispatch
       cache_capacity = cache;
       queue_depth = depth;
       batch;
+      repair_cache;
       flow_config = Config.default;
       dispatch;
       extra_stats;
@@ -834,6 +854,119 @@ let test_latency_histogram_tracks_requests () =
   Alcotest.(check bool) "max latency >= 1 tick (compute)" true
     (Mfb_util.Histogram.max_value h >= 1.0)
 
+(* --- the repair op --- *)
+
+module Defect = Mfb_repair.Defect
+
+let repair_reply = function
+  | P.Repair_result { report; warm; _ } -> (Json.to_string report, warm)
+  | r -> Alcotest.failf "repair: %s" (P.response_to_line r)
+
+let test_server_repair_warm_cold_identical () =
+  let run ~repair_cache =
+    let s = server ~repair_cache () in
+    let c = Client.in_process s in
+    ignore (call_exn c (submit ~id:"a" pcr));
+    ignore (call_exn c (P.Result "a"));
+    let report, warm =
+      repair_reply
+        (call_exn c
+           (P.Repair
+              { id = "p1"; target = "a"; defects = [ Defect.Cell (0, 0) ] }))
+    in
+    (report, warm, s)
+  in
+  let r_warm, warm, s = run ~repair_cache:8 in
+  let r_cold, cold, _ = run ~repair_cache:0 in
+  Alcotest.(check bool) "retained full result => warm" true warm;
+  Alcotest.(check bool) "no retention => cold" false cold;
+  Alcotest.(check string) "report bytes independent of cache temperature"
+    r_warm r_cold;
+  (* the virtual clock prices the temperature: warm repairs cost 1 tick *)
+  let h = Server.repair_latency_histogram s in
+  Alcotest.(check int) "one repair latency" 1 (Mfb_util.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "warm latency is 1 tick" 1.0
+    (Mfb_util.Histogram.max_value h);
+  (* stats gained the repair section *)
+  match Server.stats_json s with
+  | Json.Obj fields ->
+    (match List.assoc_opt "repair" fields with
+     | Some (Json.Obj rf) ->
+       Alcotest.(check bool) "repairs total" true
+         (List.assoc_opt "total" rf = Some (Json.Int 1));
+       Alcotest.(check bool) "repairs warm" true
+         (List.assoc_opt "warm" rf = Some (Json.Int 1))
+     | _ -> Alcotest.fail "stats lost the repair section");
+    Alcotest.(check bool) "prometheus repair series" true
+      (contains ~sub:"dcsa_repair_latency" (Server.prometheus_stats s))
+  | _ -> Alcotest.fail "stats is not an object"
+
+let test_server_repair_jobs_invariant () =
+  (* same script, different worker counts: repair report byte-identical *)
+  let run jobs =
+    let s = server ~jobs ~batch:2 () in
+    let c = Client.in_process s in
+    ignore (call_exn c (submit ~id:"a" ~seed:(Some 1) pcr));
+    ignore (call_exn c (submit ~id:"b" ~seed:(Some 2) pcr));
+    ignore (call_exn c (P.Result "a"));
+    repair_reply
+      (call_exn c
+         (P.Repair
+            { id = "p1"; target = "a"; defects = [ Defect.Cell (1, 1) ] }))
+  in
+  Alcotest.(check bool) "jobs=1 = jobs=2" true (run 1 = run 2)
+
+let test_server_repair_drains_queued_target () =
+  let s = server () in
+  let c = Client.in_process s in
+  ignore (call_exn c (submit ~id:"a" pcr));
+  let _, warm =
+    repair_reply
+      (call_exn c
+         (P.Repair
+            { id = "p1"; target = "a"; defects = [ Defect.Cell (0, 0) ] }))
+  in
+  Alcotest.(check bool) "forced the batch, then warm" true warm;
+  match call_exn c (P.Status "a") with
+  | P.Job_status { state = "done"; _ } -> ()
+  | r -> Alcotest.failf "target status: %s" (P.response_to_line r)
+
+let test_server_repair_errors () =
+  let s = server () in
+  let c = Client.in_process s in
+  ignore (call_exn c (submit ~id:"a" pcr));
+  ignore (call_exn c (P.Result "a"));
+  (match
+     call_exn c
+       (P.Repair
+          { id = "p1"; target = "ghost"; defects = [ Defect.Cell (0, 0) ] })
+   with
+   | P.Bad_request { message; _ } ->
+     Alcotest.(check bool) "unknown target" true
+       (contains ~sub:"ghost" message)
+   | r -> Alcotest.failf "unknown target: %s" (P.response_to_line r));
+  (match
+     call_exn c
+       (P.Repair { id = "a"; target = "a"; defects = [ Defect.Cell (0, 0) ] })
+   with
+   | P.Rejected { op = "repair"; reason = "duplicate id"; _ } -> ()
+   | r -> Alcotest.failf "duplicate id: %s" (P.response_to_line r));
+  (match
+     call_exn c
+       (P.Repair
+          { id = "p2"; target = "a"; defects = [ Defect.Cell (999, 999) ] })
+   with
+   | P.Rejected { op = "repair"; reason; _ } ->
+     Alcotest.(check bool) "out-of-bounds cell named" true
+       (contains ~sub:"999" reason)
+   | r -> Alcotest.failf "invalid defect: %s" (P.response_to_line r));
+  (* no repair succeeded, so the stats payload keeps its legacy shape *)
+  match Server.stats_json s with
+  | Json.Obj fields ->
+    Alcotest.(check bool) "no repair section" true
+      (List.assoc_opt "repair" fields = None)
+  | _ -> Alcotest.fail "stats is not an object"
+
 (* --- determinism: cold jobs=1 ≡ warm ≡ jobs=2, enforced by qcheck --- *)
 
 (* A script is a list of submissions drawn from a tiny seed pool (so
@@ -934,6 +1067,13 @@ let suites =
         Alcotest.test_case "prometheus exposition" `Quick
           test_prometheus_exposition;
         Alcotest.test_case "goodbye carries totals" `Quick test_goodbye_totals;
+        Alcotest.test_case "repair warm/cold byte-identical" `Quick
+          test_server_repair_warm_cold_identical;
+        Alcotest.test_case "repair report jobs-invariant" `Quick
+          test_server_repair_jobs_invariant;
+        Alcotest.test_case "repair drains a queued target" `Quick
+          test_server_repair_drains_queued_target;
+        Alcotest.test_case "repair errors" `Quick test_server_repair_errors;
         Alcotest.test_case "latency histogram tracks requests" `Quick
           test_latency_histogram_tracks_requests;
         prop_server_responses_invariant;
