@@ -1,8 +1,8 @@
 (* Load generator for the synthesis service.
 
-   Two modes sharing one seeded workload (a mix of repeated "hot" and
-   fresh requests — a pure function of --seed, so two runs replay
-   byte-identical request scripts):
+   Three modes; the first two share one seeded workload (a mix of
+   repeated "hot" and fresh requests — a pure function of --seed, so two
+   runs replay byte-identical request scripts):
 
    In-process (default): replays the script against two in-process
    servers — one caching, one with the cache disabled — and reports
@@ -20,14 +20,25 @@
    byte-identical payloads per job, and exits nonzero on any SLO breach
    or connection error.
 
+   Edit-sequence (--edits N): a seeded chain of single-op duration
+   edits on one inline assay, replayed against a similarity-enabled
+   server (warm starts), the same server at --jobs 2 (warm-payload
+   determinism), and a similarity-free server (cold baseline).  Reports
+   the warm-vs-cold speedup next to near-hit / fallback counts, gates
+   speedup >= --edit-slo, payload divergences = 0 across --jobs, and
+   warm quality within the server's delta of cold, and exits nonzero
+   on any breach.
+
    Run with: dune exec bench/load_gen.exe -- [--requests N] [--repeat F]
              [--hot K] [--jobs N] [--seed S] [--out FILE]
              [--connect HOST:PORT | --port-file FILE] [--clients N]
              [--rate R] [--slo-p95 MS] [--slo-p99 MS] [--req-timeout S]
              [--shutdown]
+             [--edits N] [--edit-ops K] [--edit-slo X]
 
    Writes the machine-readable summary to BENCH_server.json (or --out);
-   the TCP mode merges a "tcp" section into an existing summary. *)
+   the TCP and edit modes merge a "tcp" / "edit" section into an
+   existing summary. *)
 
 module Json = Mfb_util.Json
 module P = Mfb_server.Protocol
@@ -60,6 +71,12 @@ let slo_p99 = arg_value "--slo-p99" 5000.0 float_of_string_opt
 let req_timeout = arg_value "--req-timeout" 30.0 float_of_string_opt
 let do_shutdown = Array.exists (fun a -> a = "--shutdown") Sys.argv
 let tcp_mode = connect_spec <> "" || port_file <> ""
+
+(* Edit-sequence knobs; --edits > 0 selects the mode. *)
+let edits = arg_value "--edits" 0 int_of_string_opt
+let edit_ops = arg_value "--edit-ops" 12 int_of_string_opt
+let edit_slo = arg_value "--edit-slo" 1.5 float_of_string_opt
+let edit_mode = edits > 0
 
 (* The request script: each entry is the seed override identifying a
    distinct synthesis job.  Hot requests draw from [hot_set] fixed
@@ -258,6 +275,202 @@ let quantiles_json latencies =
         ("p99_ms", Json.Float (percentile sorted 0.99));
         ("max_ms", Json.Float sorted.(Array.length sorted - 1));
       ]
+
+(* ---------------- Edit-sequence mode ---------------- *)
+
+(* A seeded chain assay: [edit_ops] alternating mix/heat ops on a path
+   graph, plus [edits] single-op duration edits.  Each edit bumps one
+   random op's duration by 1..3 (wrapping within 3..9), so consecutive
+   requests are never byte-identical — no exact-cache hit — yet differ
+   in a single op label, inside the server's default similarity
+   threshold.  The whole sequence is a pure function of --seed. *)
+let edit_texts () =
+  let rng = Random.State.make [| seed; 0xed17 |] in
+  let durs = Array.init edit_ops (fun _ -> 3 + Random.State.int rng 7) in
+  let render () =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "assay \"edit-chain\"\n";
+    Buffer.add_string b "fluid a 4e-7\nfluid b 1e-6\n";
+    Array.iteri
+      (fun i d ->
+        Buffer.add_string b
+          (Printf.sprintf "op %d %s %d %s\n" i
+             (if i mod 2 = 0 then "mix" else "heat")
+             d
+             (if i mod 2 = 0 then "a" else "b")))
+      durs;
+    for i = 0 to edit_ops - 2 do
+      Buffer.add_string b (Printf.sprintf "edge %d %d\n" i (i + 1))
+    done;
+    Buffer.contents b
+  in
+  let base = render () in
+  let steps = ref [] in
+  for _ = 1 to edits do
+    let v = Random.State.int rng edit_ops in
+    durs.(v) <- 3 + ((durs.(v) - 3 + 1 + Random.State.int rng 3) mod 7);
+    steps := render () :: !steps
+  done;
+  base :: List.rev !steps
+
+let submit_edit ~id ~text =
+  P.Submit
+    {
+      id;
+      priority = 0;
+      deadline = None;
+      flow = `Ours;
+      spec = P.Assay { text; alloc = None };
+      overrides = P.no_overrides;
+      trace = None;
+    }
+
+(* Replay the edit sequence; returns (elapsed_s, latencies_ms, payloads,
+   near_hits, warm_fallbacks). *)
+let replay_edits ~similarity ~jobs texts =
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        jobs;
+        cache_capacity = 128;
+        queue_depth = 64;
+        clock = `Wall;
+        similarity;
+      }
+  in
+  let client = Client.in_process server in
+  let latencies = Array.make (List.length texts) 0.0 in
+  let payloads = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i text ->
+      let id = Printf.sprintf "e%d" i in
+      let r0 = Unix.gettimeofday () in
+      (match Client.call client (submit_edit ~id ~text) with
+       | Ok (P.Submitted _) -> ()
+       | Ok other ->
+         fail "edit %s: unexpected response %s" id (P.response_to_line other)
+       | Error e -> fail "edit %s: %s" id e);
+      (match Client.call client (P.Result id) with
+       | Ok (P.Job_result { result; _ }) ->
+         payloads := Json.to_string result :: !payloads
+       | Ok other ->
+         fail "edit result %s: unexpected response %s" id
+           (P.response_to_line other)
+       | Error e -> fail "edit result %s: %s" id e);
+      latencies.(i) <- (Unix.gettimeofday () -. r0) *. 1e3)
+    texts;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let near, fallbacks = Server.near_hit_counts server in
+  (elapsed, latencies, List.rev !payloads, near, fallbacks)
+
+let exec_time_of payload =
+  match Json.of_string payload with
+  | Ok j ->
+    (match Json.member "execution_time_s" j with
+     | Some (Json.Float f) -> f
+     | Some (Json.Int i) -> float_of_int i
+     | _ -> Float.nan)
+  | Error _ -> Float.nan
+
+let run_edits () =
+  if edits < 1 then fail "--edits must be >= 1";
+  if edit_ops < 2 then fail "--edit-ops must be >= 2";
+  Printf.printf
+    "edit-sequence workload: base + %d single-op edits over a %d-op chain, \
+     seed=%d\n\n"
+    edits edit_ops seed;
+  let texts = edit_texts () in
+  let we, wl, wp, near, fb = replay_edits ~similarity:true ~jobs:1 texts in
+  let _, _, wp2, near2, fb2 = replay_edits ~similarity:true ~jobs:2 texts in
+  let ce, cl, cp, _, _ = replay_edits ~similarity:false ~jobs:1 texts in
+  (* Determinism: warm decisions and payload bytes must not depend on
+     the worker-pool width. *)
+  let divergences =
+    List.fold_left2 (fun a p q -> if p = q then a else a + 1) 0 wp wp2
+    + if (near, fb) = (near2, fb2) then 0 else 1
+  in
+  (* Quality: every warm answer must land within the server's delta of
+     the cold answer for the same request — the bench holds both payload
+     sets, so the warm-start proof obligation is re-checked end to end
+     rather than trusted. *)
+  let delta = Server.default_config.Server.warm_delta in
+  let breaches = ref 0 in
+  List.iter2
+    (fun p q ->
+      let w = exec_time_of p and c = exec_time_of q in
+      if (not (Float.is_finite w)) || w > (c *. (1. +. delta)) +. 1e-9 then
+        incr breaches)
+    wp cp;
+  let speedup = ce /. we in
+  let pq l p =
+    let s = Array.copy l in
+    Array.sort compare s;
+    percentile s p
+  in
+  Printf.printf
+    "warm       %6.2f s   p50 %6.2f ms   p95 %6.2f ms   near-hits %d   \
+     fallbacks %d\n"
+    we (pq wl 0.50) (pq wl 0.95) near fb;
+  Printf.printf "cold       %6.2f s   p50 %6.2f ms   p95 %6.2f ms\n" ce
+    (pq cl 0.50) (pq cl 0.95);
+  let pass = divergences = 0 && !breaches = 0 && near > 0 && speedup >= edit_slo in
+  Printf.printf
+    "warm speedup over cold: %.2fx (SLO >= %.2fx)   payload divergences \
+     (--jobs 1 vs 2): %d   quality breaches (delta %.2f): %d   %s\n"
+    speedup edit_slo divergences delta !breaches
+    (if pass then "PASS" else "FAIL");
+  let run_json elapsed lats =
+    Json.Obj
+      [ ("elapsed_s", Json.Float elapsed); ("latency", quantiles_json lats) ]
+  in
+  let edit_json =
+    Json.Obj
+      [
+        ("edits", Json.Int edits);
+        ("ops", Json.Int edit_ops);
+        ("seed", Json.Int seed);
+        ("near_hits", Json.Int near);
+        ("warm_fallbacks", Json.Int fb);
+        ("warm", run_json we wl);
+        ("cold", run_json ce cl);
+        ("speedup", Json.Float speedup);
+        ("speedup_slo", Json.Float edit_slo);
+        ("payload_divergences", Json.Int divergences);
+        ("quality_delta", Json.Float delta);
+        ("quality_breaches", Json.Int !breaches);
+        ("pass", Json.Bool pass);
+      ]
+  in
+  (* merge the edit section into an existing summary document *)
+  let doc =
+    let existing =
+      if Sys.file_exists out_file then
+        match
+          Json.of_string
+            (In_channel.with_open_text out_file In_channel.input_all)
+        with
+        | Ok (Json.Obj fields) ->
+          Some (List.filter (fun (k, _) -> k <> "edit") fields)
+        | Ok _ | Error _ -> None
+      else None
+    in
+    Json.Obj
+      ((match existing with Some fields -> fields | None -> [])
+      @ [ ("edit", edit_json) ])
+  in
+  Out_channel.with_open_text out_file (fun oc ->
+      Json.to_channel ~indent:1 oc doc);
+  Printf.eprintf "wrote %s\n" out_file;
+  if divergences > 0 then
+    fail "warm payloads diverge across --jobs values (%d divergence(s))"
+      divergences;
+  if !breaches > 0 then
+    fail "%d warm result(s) exceeded the quality delta %.2f" !breaches delta;
+  if near = 0 then fail "similarity cache never warm-started a request";
+  if speedup < edit_slo then
+    fail "edit SLO breach: warm speedup %.2fx < %.2fx" speedup edit_slo
 
 let run_tcp ~host ~port =
   let n = requests in
@@ -599,6 +812,11 @@ let run_tcp ~host ~port =
 
 let () =
   if requests < 1 then fail "--requests must be >= 1";
+  if edit_mode then begin
+    if tcp_mode then fail "--edits is incompatible with TCP mode";
+    run_edits ();
+    exit 0
+  end;
   if tcp_mode then begin
     if clients < 1 then fail "--clients must be >= 1";
     if rate <= 0.0 then fail "--rate must be positive";

@@ -719,7 +719,9 @@ let validate_access path contents =
            let outcome = Option.get (str "outcome") in
            if
              not
-               (List.mem outcome [ "hit"; "done"; "shed"; "rejected" ])
+               (List.mem outcome
+                  [ "hit"; "done"; "shed"; "rejected"; "near-hit";
+                    "repair"; "repair-cold" ])
            then err (Printf.sprintf "unknown outcome %S" outcome)
            else begin
              incr records;
@@ -736,11 +738,21 @@ let validate_access path contents =
   match List.rev !errors with
   | [] ->
     let count k = Option.value ~default:0 (Hashtbl.find_opt outcomes k) in
+    (* newer outcome classes are appended only when present, so logs
+       from older scripts keep their validation output bytes *)
+    let extras =
+      List.filter_map
+        (fun k ->
+          let n = count k in
+          if n = 0 then None else Some (Printf.sprintf ", %d %s" n k))
+        [ "near-hit"; "repair"; "repair-cold" ]
+    in
     Printf.printf
       "valid access log: %d record(s) (%d done, %d hit, %d shed, %d \
-       rejected)\n"
+       rejected%s)\n"
       !records (count "done") (count "hit") (count "shed")
-      (count "rejected");
+      (count "rejected")
+      (String.concat "" extras);
     `Ok ()
   | e :: _ as all ->
     List.iter prerr_endline all;
@@ -916,6 +928,35 @@ let serve_cmd =
     in
     Arg.(value & opt int 8 & info [ "repair-cache" ] ~doc ~docv:"N")
   in
+  let similarity_arg =
+    let doc =
+      "Enable the similarity cache: a submission within --sim-threshold \
+       edit distance of a previously computed one is warm-started from \
+       its solution (cached placement reused, invalidated transports \
+       re-routed via the repair ladder) instead of synthesised cold, \
+       subject to the --warm-delta quality gate.  Near-hit payloads are \
+       deterministic — identical across --jobs values, transports and \
+       fleet sizes — but generally differ from cold payloads, so the \
+       feature is opt-in."
+    in
+    Arg.(value & flag & info [ "similarity" ] ~doc)
+  in
+  let sim_threshold_arg =
+    let doc =
+      "Largest fingerprint edit distance accepted as a near-hit (a \
+       single-op edit typically costs 2-6; each differing config knob \
+       costs 2)."
+    in
+    Arg.(value & opt int 8 & info [ "sim-threshold" ] ~doc ~docv:"N")
+  in
+  let warm_delta_arg =
+    let doc =
+      "Quality gate for warm starts: a warm result whose makespan \
+       exceeds (1 + $(docv)) x the cold lower bound is discarded and \
+       the job re-synthesised cold (counted as a fallback)."
+    in
+    Arg.(value & opt float 0.25 & info [ "warm-delta" ] ~doc ~docv:"DELTA")
+  in
   let queue_depth_arg =
     let doc =
       "Admission-control bound: at most $(docv) jobs may wait in the queue; \
@@ -1044,7 +1085,8 @@ let serve_cmd =
     in
     Arg.(value & opt (some bool) None & info [ "shard" ] ~doc ~docv:"BOOL")
   in
-  let action jobs cache_size no_cache repair_cache queue_depth batch fleet
+  let action jobs cache_size no_cache repair_cache similarity sim_threshold
+      warm_delta queue_depth batch fleet
       fault_plan worker_timeout max_retries worker_bin access_log slow_ms
       trace folded wall_clock tcp port_file max_conns shard tc seed
       sa_restarts backend exact_fuel =
@@ -1052,6 +1094,10 @@ let serve_cmd =
       `Error (false, "--cache-size must be non-negative")
     else if repair_cache < 0 then
       `Error (false, "--repair-cache must be non-negative")
+    else if sim_threshold < 0 then
+      `Error (false, "--sim-threshold must be non-negative")
+    else if warm_delta < 0. then
+      `Error (false, "--warm-delta must be non-negative")
     else if fleet < 0 then `Error (false, "--fleet must be non-negative")
     else if max_retries < 0 then
       `Error (false, "--max-retries must be non-negative")
@@ -1065,6 +1111,9 @@ let serve_cmd =
           jobs;
           cache_capacity = (if no_cache then 0 else cache_size);
           repair_cache;
+          similarity;
+          sim_threshold;
+          warm_delta;
           queue_depth;
           batch;
           flow_config = config_of ~sa_restarts ~backend ~exact_fuel tc seed;
@@ -1209,7 +1258,8 @@ let serve_cmd =
     Term.(
       ret
         (const action $ serve_jobs_arg $ cache_size_arg $ no_cache_arg
-       $ repair_cache_arg $ queue_depth_arg $ batch_arg $ fleet_arg
+       $ repair_cache_arg $ similarity_arg $ sim_threshold_arg
+       $ warm_delta_arg $ queue_depth_arg $ batch_arg $ fleet_arg
        $ fault_plan_arg
        $ worker_timeout_arg $ max_retries_arg $ worker_bin_arg
        $ access_log_arg $ slow_ms_arg $ serve_trace_arg $ serve_folded_arg

@@ -80,6 +80,22 @@ let graph_fingerprint g =
   let h = mix_int h (Seq_graph.n_edges g) in
   mix_sorted h node_hashes
 
+(* Radius-1 neighborhood hash of every operation: its own label mixed
+   with the sorted labels of its parents and, separately, of its
+   children.  Invariant to id relabelling (labels are intrinsic, the
+   neighbor multisets are sorted) yet sensitive to any local structural
+   or attribute edit — the unit of similarity distance. *)
+let neighborhood_hashes g =
+  let labels = Array.map op_label (Seq_graph.ops g) in
+  Array.init (Seq_graph.n_ops g) (fun v ->
+      let around rel =
+        List.map (fun u -> labels.(u)) (rel g v)
+      in
+      mix_sorted
+        (mix_sorted (mix_int64 fnv_offset labels.(v))
+           (around Seq_graph.parents))
+        (around Seq_graph.children))
+
 let mix_config h (cfg : Mfb_core.Config.t) =
   let h = mix_float h cfg.tc in
   let h = mix_float h cfg.we in

@@ -35,6 +35,9 @@ type config = {
   queue_depth : int;
   batch : int;
   repair_cache : int;
+  similarity : bool;
+  sim_threshold : int;
+  warm_delta : float;
   flow_config : Mfb_core.Config.t;
   dispatch : (job list -> dispatch_result list) option;
   extra_stats : (unit -> (string * Json.t) list) option;
@@ -51,6 +54,9 @@ let default_config =
     queue_depth = 64;
     batch = 8;
     repair_cache = 8;
+    similarity = false;
+    sim_threshold = 8;
+    warm_delta = 0.25;
     flow_config = Mfb_core.Config.default;
     dispatch = None;
     extra_stats = None;
@@ -80,6 +86,13 @@ type t = {
      Small and separate from the summary cache: a full result holds the
      routed grid and schedule, not just scalar metrics. *)
   full : (Cache_key.t, Mfb_core.Result.t) Lru.t option;
+  (* Similarity index over previously computed jobs.  Entries hold the
+     resolved *job*, never its result: on a near-hit the candidate's
+     full result is looked up in [full] and, when evicted, re-derived
+     cold — deterministically byte-identical to the original run — so
+     warm-start decisions and payloads are a pure function of the
+     request script whatever the cache temperature or dispatch mode. *)
+  sim : job Sim_index.t option;
   specs : (string, job) Hashtbl.t;  (* accepted id -> resolved job *)
   queue : job Job_queue.t;
   outcomes : (string, outcome) Hashtbl.t;
@@ -88,10 +101,13 @@ type t = {
   h_latency : Histogram.t;    (* total request latency, clock units *)
   h_queue_wait : Histogram.t; (* queue wait in virtual ticks *)
   h_repair : Histogram.t;     (* repair latency, clock units *)
+  h_warm : Histogram.t;       (* warm-start latency, clock units *)
   mutable next_rid : int;
   mutable tick : int;
   mutable submitted : int;
   mutable computed : int;
+  mutable near_hits : int;
+  mutable warm_fallbacks : int;
   mutable repairs : int;
   mutable repairs_warm : int;
   mutable shed_deadline : int;
@@ -106,6 +122,8 @@ let create cfg =
   if cfg.cache_capacity < 0 then
     invalid_arg "Server.create: cache_capacity < 0";
   if cfg.repair_cache < 0 then invalid_arg "Server.create: repair_cache < 0";
+  if cfg.sim_threshold < 0 then invalid_arg "Server.create: sim_threshold < 0";
+  if cfg.warm_delta < 0. then invalid_arg "Server.create: warm_delta < 0";
   {
     cfg;
     cache =
@@ -115,6 +133,13 @@ let create cfg =
       (if cfg.repair_cache = 0 then None
        else
          Some (Lru.create ~name:"full-results" ~capacity:cfg.repair_cache ()));
+    sim =
+      (if not cfg.similarity then None
+       else
+         Some
+           (Sim_index.create
+              ~capacity:(max 16 cfg.cache_capacity)
+              ~threshold:cfg.sim_threshold ()));
     specs = Hashtbl.create 64;
     queue = Job_queue.create ~depth:cfg.queue_depth ();
     outcomes = Hashtbl.create 64;
@@ -123,10 +148,13 @@ let create cfg =
     h_latency = Histogram.create ();
     h_queue_wait = Histogram.create ();
     h_repair = Histogram.create ();
+    h_warm = Histogram.create ();
     next_rid = 0;
     tick = 0;
     submitted = 0;
     computed = 0;
+    near_hits = 0;
+    warm_fallbacks = 0;
     repairs = 0;
     repairs_warm = 0;
     shed_deadline = 0;
@@ -218,6 +246,21 @@ let run_job_full ?trace job =
 
 let run_job ?trace job =
   Mfb_core.Result.(summary_to_json (summarize (run_job_full ?trace job)))
+
+(* Find-or-resynthesize a job's retained full result (warm-start seed
+   for repairs and near-hits).  The cold branch re-runs with the same
+   config and [jobs = 1], so it is byte-identical to the original batch
+   run — cache temperature can only change latency, never bytes. *)
+let full_result_of t (job : job) =
+  match t.full with
+  | None -> (synthesize job, false)
+  | Some c ->
+    (match Lru.find c job.key with
+     | Some r -> (r, true)
+     | None ->
+       let r = synthesize job in
+       Lru.add c job.key r;
+       (r, false))
 
 (* --- request observability ---
 
@@ -387,13 +430,94 @@ let process_batch t =
         end)
       dispatched
   in
-  let results =
+  (* Similarity pass: look for a near-matching cached solution for each
+     unique job and try to warm-start from it.  Candidate full results
+     resolve on the server thread — [full_result_of] touches the LRUs
+     and re-synthesizes cold on eviction, keeping the seed a pure
+     function of the request script — then the warm syntheses fan out
+     on the pool.  A failed warm attempt (quality gate, unroutable
+     task, component mismatch) rejoins the cold set in dispatch order
+     and is counted as a fallback. *)
+  let fp_of (job : job) =
+    Sim_index.fingerprint
+      ~flow:(match job.flow with `Ours -> "ours" | `Ba -> "ba")
+      ~config:job.config ~graph:job.graph ~allocation:job.allocation ()
+  in
+  (* key -> (dispatch result, full result) for warm-started jobs *)
+  let warm_tbl = Hashtbl.create 8 in
+  let fps = Hashtbl.create 8 in
+  (match t.sim with
+   | None -> ()
+   | Some sim ->
+     let wall0 = Unix.gettimeofday () in
+     let planned =
+       List.filter_map
+         (fun (it : job Job_queue.item) ->
+           let job = it.payload in
+           if job.flow <> `Ours then None
+           else begin
+             let fp = fp_of job in
+             Hashtbl.replace fps job.key fp;
+             match Sim_index.nearest sim job.key fp with
+             | None -> None
+             | Some (_ckey, cjob, _diff) ->
+               let cached, cand_warm = full_result_of t cjob in
+               Some (it, cached, cand_warm)
+           end)
+         unique
+     in
+     let attempts =
+       Mfb_util.Pool.map ~label:"serve-warm" ~jobs:t.cfg.jobs
+         (fun ((it : job Job_queue.item), cached, cand_warm) ->
+           ( it,
+             cand_warm,
+             Mfb_repair.Warm.synthesize ~config:it.payload.config ~cached
+               ~delta:t.cfg.warm_delta it.payload.graph it.payload.allocation
+           ))
+         planned
+     in
+     List.iter
+       (fun ((it : job Job_queue.item), cand_warm, outcome) ->
+         match outcome with
+         | Error _ ->
+           t.warm_fallbacks <- t.warm_fallbacks + 1;
+           Telemetry.incr ~cat:"serve" "warm.fallbacks"
+         | Ok (full, _report) ->
+           t.near_hits <- t.near_hits + 1;
+           Telemetry.incr ~cat:"serve" "near.hits";
+           (* like repairs: a warm start whose seed sat in the full LRU
+              costs 1 virtual tick, one whose seed had to be cold
+              re-synthesized costs 2 — the histogram is a deterministic
+              record of cache temperature *)
+           let latency =
+             match t.cfg.clock with
+             | `Virtual -> if cand_warm then 1.0 else 2.0
+             | `Wall -> (Unix.gettimeofday () -. wall0) *. 1000.0
+           in
+           Histogram.add t.h_warm latency;
+           Hashtbl.replace warm_tbl it.payload.key
+             ( {
+                 d_payload =
+                   Mfb_core.Result.(summary_to_json (summarize full));
+                 d_slot = None;
+                 d_attempts = 1;
+                 d_spans = [];
+               },
+               full ))
+       attempts);
+  let cold =
+    List.filter
+      (fun (it : job Job_queue.item) ->
+        not (Hashtbl.mem warm_tbl it.payload.key))
+      unique
+  in
+  let cold_results =
     match t.cfg.dispatch with
     | Some dispatch ->
       List.map
         (fun r -> (r, None))
         (dispatch
-           (List.map (fun (it : job Job_queue.item) -> it.payload) unique))
+           (List.map (fun (it : job Job_queue.item) -> it.payload) cold))
     | None ->
       (* Trace args are resolved on the server thread before fan-out so
          pool tasks never touch server state.  The full result rides
@@ -406,7 +530,7 @@ let process_batch t =
             ( it,
               [ ("rid", Telemetry.Str info.rid);
                 ("key", Telemetry.Str (key_prefix it.payload.key)) ] ))
-          unique
+          cold
       in
       Mfb_util.Pool.map ~label:"serve-job" ~jobs:t.cfg.jobs
         (fun ((it : job Job_queue.item), trace) ->
@@ -419,6 +543,19 @@ let process_batch t =
             },
             Some full ))
         traced
+  in
+  let results =
+    let cold_tbl = Hashtbl.create 8 in
+    List.iter2
+      (fun (it : job Job_queue.item) r ->
+        Hashtbl.replace cold_tbl it.payload.key r)
+      cold cold_results;
+    List.map
+      (fun (it : job Job_queue.item) ->
+        match Hashtbl.find_opt warm_tbl it.payload.key with
+        | Some (res, full) -> (res, Some full)
+        | None -> Hashtbl.find cold_tbl it.payload.key)
+      unique
   in
   t.computed <- t.computed + List.length unique;
   let fresh = Hashtbl.create 8 in
@@ -440,6 +577,23 @@ let process_batch t =
       Hashtbl.replace t.outcomes it.id
         (Done { key = it.payload.key; payload = res.d_payload }))
     unique results;
+  (* Every computed job (cold, warm or fleet-dispatched) becomes a
+     future warm-start candidate.  Entries carry the resolved job, not
+     the result — identical index contents on every transport. *)
+  (match t.sim with
+   | None -> ()
+   | Some sim ->
+     List.iter
+       (fun (it : job Job_queue.item) ->
+         let job = it.payload in
+         if job.flow = `Ours then
+           let fp =
+             match Hashtbl.find_opt fps job.key with
+             | Some fp -> fp
+             | None -> fp_of job
+           in
+           Sim_index.add sim job.key fp job)
+       unique);
   (* Batch duplicates and jobs answered by an earlier batch's cache
      entry: the [Lru.find] counts the reuse as a hit. *)
   List.iter
@@ -473,9 +627,12 @@ let process_batch t =
       in
       Histogram.add t.h_queue_wait (float_of_int qw);
       let total_ticks = qw + 1 in
+      let outcome =
+        if Hashtbl.mem warm_tbl it.payload.key then "near-hit" else "done"
+      in
       finish_request t ~rid:info.rid ~id:it.id
         ~key:(key_prefix it.payload.key) ~backend:(backend_name it.payload)
-        ~outcome:"done" ~batch:batch_tick ?fleet ~queue_ticks:qw
+        ~outcome ~batch:batch_tick ?fleet ~queue_ticks:qw
         ~compute_ticks:1 ~worker_spans
         ~latency:(Some (latency_units t info ~total_ticks))
         ())
@@ -527,6 +684,17 @@ let stats_json t =
       ("latency", Histogram.snapshot_json t.h_latency);
       ("queue_wait", Histogram.snapshot_json t.h_queue_wait);
     ]
+    (* present only once a near-hit or fallback happened, so the stats
+       payload stays byte-identical for similarity-free scripts *)
+    @ (if t.near_hits + t.warm_fallbacks = 0 then []
+       else
+         [ ( "near",
+             Json.Obj
+               [
+                 ("hits", Json.Int t.near_hits);
+                 ("fallbacks", Json.Int t.warm_fallbacks);
+                 ("latency", Histogram.snapshot_json t.h_warm);
+               ] ) ])
     (* present only once a repair has run, so the stats payload stays
        byte-identical to older servers for scripts that never repair *)
     @ (if t.repairs = 0 then []
@@ -551,6 +719,10 @@ let latency_histogram t = t.h_latency
 let queue_wait_histogram t = t.h_queue_wait
 
 let repair_latency_histogram t = t.h_repair
+
+let warm_latency_histogram t = t.h_warm
+
+let near_hit_counts t = (t.near_hits, t.warm_fallbacks)
 
 (* Prometheus text exposition: server counters, cache counters, and the
    two rolling histograms; a fleet appends its per-slot series via
@@ -592,6 +764,19 @@ let prometheus_stats t =
     ~name:"dcsa_request_latency" buf t.h_latency;
   Histogram.prometheus ~help:"queue wait (virtual ticks)"
     ~name:"dcsa_queue_wait_ticks" buf t.h_queue_wait;
+  (* similarity series appear only once a near-hit or fallback happened,
+     keeping the exposition byte-identical for similarity-free scripts *)
+  if t.near_hits + t.warm_fallbacks > 0 then begin
+    counter "dcsa_near_hits_total"
+      "submissions answered by a warm start from a similar cached solution"
+      t.near_hits;
+    counter "dcsa_warm_fallbacks_total"
+      "warm-start attempts that fell back to cold synthesis"
+      t.warm_fallbacks;
+    Histogram.prometheus
+      ~help:"warm-start latency (ticks, or ms in wall mode)"
+      ~name:"dcsa_warm_latency" buf t.h_warm
+  end;
   (* like the stats payload: repair series appear only once a repair has
      run, keeping the exposition byte-identical for repair-free scripts *)
   if t.repairs > 0 then begin
@@ -748,17 +933,6 @@ let handle_submit t ~id ~priority ~deadline ~flow ~spec ~overrides =
    byte-identical to the original run) — two ticks.  The report is a
    pure function of (job, defects) either way; cache temperature can
    only change latency, never bytes, exactly like the summary cache. *)
-
-let full_result_of t (job : job) =
-  match t.full with
-  | None -> (synthesize job, false)
-  | Some c ->
-    (match Lru.find c job.key with
-     | Some r -> (r, true)
-     | None ->
-       let r = synthesize job in
-       Lru.add c job.key r;
-       (r, false))
 
 let handle_repair t ~id ~target ~defects =
   let rid = next_rid t in

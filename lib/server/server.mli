@@ -37,7 +37,25 @@
     The report bytes are a pure function of (job, defects) — cache
     temperature, [jobs] and transport can only change latency.  A
     surviving repair whose result fails the legality audit
-    ({!Mfb_repair.Plan.verify}) is rejected rather than returned. *)
+    ({!Mfb_repair.Plan.verify}) is rejected rather than returned.
+
+    {2 Similarity & warm start}
+
+    With [similarity] enabled, every computed job is fingerprinted into
+    a {!Sim_index}; a later batch job within [sim_threshold] edit
+    distance of a cached one is {e warm-started}
+    ({!Mfb_repair.Warm.synthesize}): cached placement reused, intact
+    routes replayed, invalidated transports re-routed through the
+    repair ladder, with a legality + quality-delta proof obligation and
+    cold fallback.  Such a request finishes with outcome ["near-hit"]
+    instead of ["done"]; stats gain a ["near"] section and Prometheus
+    the [dcsa_near_hits_total] / [dcsa_warm_fallbacks_total] counters
+    and [dcsa_warm_latency] histogram, all absent until the first
+    near-hit or fallback so similarity-free transcripts keep their
+    bytes.  Warm-start decisions and payloads are a pure function of
+    the request script: the index stores resolved jobs (never results),
+    and an evicted seed is re-synthesized cold, byte-identical to its
+    original run. *)
 
 type job = {
   key : Cache_key.t;
@@ -78,6 +96,22 @@ type config = {
           (every repair then re-synthesizes its target first).  Kept
           small — a full result holds the routed grid and schedule, not
           just summary scalars. *)
+  similarity : bool;
+      (** enable the {!Sim_index} similarity cache: a batch job whose
+          fingerprint lands within [sim_threshold] of a previously
+          computed job is warm-started from that job's full result
+          ({!Mfb_repair.Warm}) instead of synthesized cold.  The warm
+          payload is deterministic (identical across [jobs] values,
+          transports, and fleet-vs-in-process) but generally differs
+          from the cold payload — enabling similarity is a quality
+          contract ([warm_delta]), not byte-transparent like the exact
+          cache, which is why it defaults to off. *)
+  sim_threshold : int;
+      (** largest {!Sim_index.diff} distance accepted as a near-hit *)
+  warm_delta : float;
+      (** quality gate: a warm result whose makespan exceeds
+          [(1 + warm_delta)] x the cold lower bound is discarded and the
+          job re-synthesized cold (counted as a fallback) *)
   flow_config : Mfb_core.Config.t;
       (** base synthesis parameters; [submit] overrides apply on top *)
   dispatch : (job list -> dispatch_result list) option;
@@ -109,8 +143,9 @@ type config = {
 
 val default_config : config
 (** [jobs = 1], 128 cache entries, queue depth 64, batch 8, 8 retained
-    full results, paper parameters, no dispatch hook, no extra stats,
-    virtual clock, no access log. *)
+    full results, similarity off (threshold 8, delta 0.25), paper
+    parameters, no dispatch hook, no extra stats, virtual clock, no
+    access log. *)
 
 type t
 
@@ -177,6 +212,15 @@ val repair_latency_histogram : t -> Mfb_util.Histogram.t
     virtual clock a warm-started repair observes 1 tick and a cold one
     (full result re-synthesized first) 2 ticks, so the histogram is a
     deterministic record of cache temperature. *)
+
+val warm_latency_histogram : t -> Mfb_util.Histogram.t
+(** The rolling warm-start latency histogram (clock units).  Under the
+    virtual clock a near-hit whose seed sat in the repair cache observes
+    1 tick, one whose seed had to be cold re-synthesized 2 ticks — the
+    same cache-temperature convention as repairs. *)
+
+val near_hit_counts : t -> int * int
+(** [(near hits, warm fallbacks)] so far. *)
 
 val serve : ?input:in_channel -> ?output:out_channel -> t -> unit
 (** Run the line loop (default stdin/stdout) until [shutdown] or EOF,

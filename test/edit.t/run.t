@@ -1,0 +1,71 @@
+A seeded edit-sequence replay: one inline assay followed by single-op
+duration edits, served with --similarity.  The first request computes
+cold; each edit lands within the similarity threshold of its
+predecessor and is warm-started, answering with outcome "near-hit" in
+the access log and a "near" section in the stats.
+
+  $ cat > edits.jsonl <<'EOF'
+  > {"op":"submit","id":"e0","assay":"assay \"edit\"\nfluid a 4e-7\nfluid b 1e-6\nop 0 mix 5 a\nop 1 heat 4 b\nop 2 mix 6 a\nedge 0 1\nedge 1 2","alloc":[2,2,0,0]}
+  > {"op":"result","id":"e0"}
+  > {"op":"submit","id":"e1","assay":"assay \"edit\"\nfluid a 4e-7\nfluid b 1e-6\nop 0 mix 5 a\nop 1 heat 6 b\nop 2 mix 6 a\nedge 0 1\nedge 1 2","alloc":[2,2,0,0]}
+  > {"op":"result","id":"e1"}
+  > {"op":"submit","id":"e2","assay":"assay \"edit\"\nfluid a 4e-7\nfluid b 1e-6\nop 0 mix 5 a\nop 1 heat 6 b\nop 2 mix 7 a\nedge 0 1\nedge 1 2","alloc":[2,2,0,0]}
+  > {"op":"result","id":"e2"}
+  > {"op":"stats"}
+  > EOF
+
+Warm-start decisions and payload bytes are a pure function of the
+request script: the responses and the access log are byte-identical
+across --jobs values.  (The stats line is excluded from the comparison
+only because it prints the server's own jobs setting.)
+
+  $ ../../bin/dcsa_synth.exe serve --similarity --jobs 1 --access-log acc1.jsonl < edits.jsonl > out1.json
+  $ ../../bin/dcsa_synth.exe serve --similarity --jobs 2 --access-log acc2.jsonl < edits.jsonl > out2.json
+  $ head -6 out1.json > out1.head && head -6 out2.json > out2.head
+  $ cmp out1.head out2.head && cmp acc1.jsonl acc2.jsonl && echo jobs-invariant
+  jobs-invariant
+
+The edited requests warm-start in one batch tick each (their seed is
+still in the repair cache):
+
+  $ cat acc1.jsonl
+  {"rid":"r000001","id":"e0","key":"bca6b34e","backend":"heuristic","outcome":"done","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":1}
+  {"rid":"r000002","id":"e1","key":"f73c5cfd","backend":"heuristic","outcome":"near-hit","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":2}
+  {"rid":"r000003","id":"e2","key":"11bf685d","backend":"heuristic","outcome":"near-hit","queue_ticks":0,"compute_ticks":1,"total_ticks":1,"batch":3}
+
+  $ grep -c '"outcome":"near-hit"' acc1.jsonl
+  2
+
+The trace validator accepts the near-hit outcome and reports it in the
+mix:
+
+  $ ../../bin/dcsa_synth.exe trace acc1.jsonl
+  valid access log: 3 record(s) (1 done, 0 hit, 0 shed, 0 rejected, 2 near-hit)
+
+The stats carry the near section — two near-hits, no fallbacks:
+
+  $ grep -o '"near":{"hits":[0-9]*,"fallbacks":[0-9]*' out1.json
+  "near":{"hits":2,"fallbacks":0
+
+The TCP transport answers the identical script with byte-identical
+responses — near-hits included:
+
+  $ ../../bin/dcsa_synth.exe serve --similarity --tcp 0 --port-file port 2>tcp.err &
+  $ ../../bin/dcsa_synth.exe client --port-file port < edits.jsonl > tcp.out
+  $ ../../bin/dcsa_synth.exe client --port-file port <<'EOF' > /dev/null
+  > {"op":"shutdown"}
+  > EOF
+  $ wait
+  $ cmp out1.json tcp.out && echo stdio-tcp-identical
+  stdio-tcp-identical
+
+Without --similarity the same script computes every request cold — no
+near path, and the stats keep their similarity-free shape:
+
+  $ ../../bin/dcsa_synth.exe serve --access-log cold_acc.jsonl < edits.jsonl > cold.json
+  $ grep -c '"outcome":"near-hit"' cold_acc.jsonl
+  0
+  [1]
+  $ grep -c '"near":' cold.json
+  0
+  [1]

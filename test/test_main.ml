@@ -144,4 +144,4 @@ let () =
    @ Test_route.suites @ Test_perf_equiv.suites @ Test_core.suites
    @ Test_control.suites @ Test_sim.suites @ Test_server.suites
    @ Test_cluster.suites @ Test_net.suites @ Test_repair.suites
-   @ Test_parallel.suites)
+   @ Test_warm.suites @ Test_parallel.suites)
